@@ -1,0 +1,113 @@
+// Google-benchmark microbenchmarks for the library's algorithmic kernels:
+// the acyclic partitioner, the memDag traversal oracle, quotient makespan
+// evaluation, and quotient merges. These guard against performance
+// regressions in the pieces the schedulers call in tight loops.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/subgraph.hpp"
+#include "graph/topology.hpp"
+#include "memory/oracle.hpp"
+#include "memory/simulate.hpp"
+#include "partition/partitioner.hpp"
+#include "platform/cluster.hpp"
+#include "quotient/quotient.hpp"
+#include "workflows/families.hpp"
+
+namespace {
+
+using namespace dagpm;
+
+graph::Dag makeWorkflow(std::int64_t n) {
+  workflows::GenConfig cfg;
+  cfg.numTasks = static_cast<int>(n);
+  cfg.seed = 7;
+  return workflows::generate(workflows::Family::kMontage, cfg);
+}
+
+void BM_PartitionAcyclic(benchmark::State& state) {
+  const graph::Dag g = makeWorkflow(state.range(0));
+  partition::PartitionConfig cfg;
+  cfg.numParts = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::partitionAcyclic(g, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.numVertices()));
+}
+BENCHMARK(BM_PartitionAcyclic)->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MemDagOracleWholeGraph(benchmark::State& state) {
+  const graph::Dag g = makeWorkflow(state.range(0));
+  std::vector<graph::VertexId> all(g.numVertices());
+  for (graph::VertexId v = 0; v < g.numVertices(); ++v) all[v] = v;
+  for (auto _ : state) {
+    // Fresh oracle per iteration: measures evaluation, not the memo.
+    const memory::MemDagOracle oracle(g);
+    benchmark::DoNotOptimize(oracle.blockRequirement(all));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.numVertices()));
+}
+BENCHMARK(BM_MemDagOracleWholeGraph)->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulateBlockOrder(benchmark::State& state) {
+  const graph::Dag g = makeWorkflow(state.range(0));
+  std::vector<graph::VertexId> all(g.numVertices());
+  for (graph::VertexId v = 0; v < g.numVertices(); ++v) all[v] = v;
+  const graph::SubDag sub = graph::inducedSubgraph(g, all);
+  const auto order = *graph::topologicalOrder(sub.dag);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memory::simulateBlockOrder(sub, order));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.numVertices()));
+}
+BENCHMARK(BM_SimulateBlockOrder)->Arg(2000)->Arg(8000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QuotientMakespan(benchmark::State& state) {
+  const graph::Dag g = makeWorkflow(2000);
+  partition::PartitionConfig cfg;
+  cfg.numParts = static_cast<std::uint32_t>(state.range(0));
+  const partition::PartitionResult pr = partition::partitionAcyclic(g, cfg);
+  quotient::QuotientGraph q(g, pr.blockOf, pr.numBlocks);
+  const platform::Cluster cluster = platform::makeCluster(
+      platform::Heterogeneity::kDefault, platform::ClusterSize::kDefault);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quotient::makespanValue(q, cluster));
+  }
+}
+BENCHMARK(BM_QuotientMakespan)->Arg(8)->Arg(36)->Unit(benchmark::kMicrosecond);
+
+void BM_QuotientMergeRollback(benchmark::State& state) {
+  const graph::Dag g = makeWorkflow(2000);
+  partition::PartitionConfig cfg;
+  cfg.numParts = 36;
+  const partition::PartitionResult pr = partition::partitionAcyclic(g, cfg);
+  quotient::QuotientGraph q(g, pr.blockOf, pr.numBlocks);
+  // Pick an adjacent alive pair to merge/rollback repeatedly.
+  quotient::BlockId a = quotient::kNoBlock, b = quotient::kNoBlock;
+  for (const auto node : q.aliveNodes()) {
+    if (!q.node(node).out.empty()) {
+      a = node;
+      b = q.node(node).out.begin()->first;
+      break;
+    }
+  }
+  if (a == quotient::kNoBlock) {
+    state.SkipWithError("no adjacent blocks");
+    return;
+  }
+  for (auto _ : state) {
+    auto tx = q.merge(a, b);
+    q.rollback(std::move(tx));
+  }
+}
+BENCHMARK(BM_QuotientMergeRollback)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Regenerates Table 2 (default cluster configuration) and Table 3 (clusters
+// with more / less heterogeneity) of the paper, plus the NoHet variant and
+// the small/default/large cluster sizes used throughout Section 5.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "platform/cluster.hpp"
+
+int main() {
+  using namespace dagpm;
+  support::printHeading(std::cout, "Table 2 / Table 3 -- cluster configurations");
+
+  const auto renderKinds = [](platform::Heterogeneity h,
+                              const std::string& title) {
+    std::cout << title << "\n";
+    support::Table table({"Processor name", "CPU speed (GHz)",
+                          "Memory size (GB)"});
+    for (const platform::Processor& p : platform::machineKinds(h)) {
+      table.addRow({p.kind, support::Table::num(p.speed, 0),
+                    support::Table::num(p.memory, 0)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  };
+
+  renderKinds(platform::Heterogeneity::kDefault,
+              "Table 2: default cluster kinds (6 of each = 36 processors)");
+  renderKinds(platform::Heterogeneity::kMore, "Table 3 (left): MoreHet");
+  renderKinds(platform::Heterogeneity::kLess, "Table 3 (right): LessHet");
+  renderKinds(platform::Heterogeneity::kNone,
+              "NoHet: homogeneous cluster (all C2)");
+
+  support::Table sizes({"Cluster size", "processors"});
+  for (const auto size :
+       {platform::ClusterSize::kSmall, platform::ClusterSize::kDefault,
+        platform::ClusterSize::kLarge}) {
+    const platform::Cluster c =
+        platform::makeCluster(platform::Heterogeneity::kDefault, size);
+    sizes.addRow({platform::clusterName(platform::Heterogeneity::kDefault, size),
+                  std::to_string(c.numProcessors())});
+  }
+  sizes.print(std::cout);
+  return 0;
+}

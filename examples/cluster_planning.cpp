@@ -1,0 +1,77 @@
+// Capacity-planning example: given one workflow, evaluate what-if cluster
+// configurations (size, heterogeneity level, network bandwidth) and report
+// which platform runs it fastest -- the kind of question the paper's
+// Sections 5.2.2/5.2.3/5.2.6 answer at scale.
+//
+//   ./build/examples/cluster_planning [num_tasks]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "scheduler/daghetpart.hpp"
+#include "workflows/families.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dagpm;
+  const int numTasks = argc > 1 ? std::atoi(argv[1]) : 800;
+
+  workflows::GenConfig gen;
+  gen.numTasks = numTasks;
+  gen.seed = 7;
+  const graph::Dag workflow =
+      workflows::generate(workflows::Family::kMontage, gen);
+  std::printf("Montage-like workflow with %zu tasks\n\n",
+              workflow.numVertices());
+
+  struct Option {
+    std::string name;
+    platform::Heterogeneity het;
+    platform::ClusterSize size;
+    double bandwidth;
+  };
+  const std::vector<Option> options = {
+      {"small cluster, beta=1", platform::Heterogeneity::kDefault,
+       platform::ClusterSize::kSmall, 1.0},
+      {"default cluster, beta=1", platform::Heterogeneity::kDefault,
+       platform::ClusterSize::kDefault, 1.0},
+      {"large cluster, beta=1", platform::Heterogeneity::kDefault,
+       platform::ClusterSize::kLarge, 1.0},
+      {"default cluster, beta=5", platform::Heterogeneity::kDefault,
+       platform::ClusterSize::kDefault, 5.0},
+      {"default cluster, beta=0.1", platform::Heterogeneity::kDefault,
+       platform::ClusterSize::kDefault, 0.1},
+      {"homogeneous (NoHet)", platform::Heterogeneity::kNone,
+       platform::ClusterSize::kDefault, 1.0},
+      {"MoreHet cluster", platform::Heterogeneity::kMore,
+       platform::ClusterSize::kDefault, 1.0},
+  };
+
+  std::printf("%-26s %10s %8s %8s\n", "platform", "makespan", "blocks",
+              "feasible");
+  std::string bestName = "-";
+  double bestMakespan = 0.0;
+  for (const Option& option : options) {
+    platform::Cluster cluster =
+        platform::makeCluster(option.het, option.size, option.bandwidth);
+    cluster.scaleMemoriesToFit(workflow.maxTaskMemoryRequirement());
+    const scheduler::ScheduleResult schedule =
+        scheduler::scheduleBest(workflow, cluster);
+    if (schedule.feasible) {
+      std::printf("%-26s %10.1f %8u %8s\n", option.name.c_str(),
+                  schedule.makespan, schedule.numBlocks(), "yes");
+      if (bestName == "-" || schedule.makespan < bestMakespan) {
+        bestName = option.name;
+        bestMakespan = schedule.makespan;
+      }
+    } else {
+      std::printf("%-26s %10s %8s %8s\n", option.name.c_str(), "-", "-",
+                  "no");
+    }
+  }
+  std::printf("\nrecommended platform: %s (makespan %.1f)\n", bestName.c_str(),
+              bestMakespan);
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "experiments/export.hpp"
+
+#include <cstdio>
+
+#include "support/csv.hpp"
+#include "support/env.hpp"
+#include "workflows/families.hpp"
+
+namespace dagpm::experiments {
+
+bool exportOutcomesCsv(const std::string& path,
+                       const std::vector<RunOutcome>& outcomes) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(outcomes.size());
+  char buf[64];
+  auto fmt = [&buf](double v) {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+  };
+  for (const RunOutcome& out : outcomes) {
+    const bool both = out.partFeasible && out.memFeasible;
+    rows.push_back({
+        out.instance,
+        workflows::sizeBandName(out.band),
+        out.family,
+        std::to_string(out.numTasks),
+        out.partFeasible ? "1" : "0",
+        out.memFeasible ? "1" : "0",
+        fmt(out.partMakespan),
+        fmt(out.memMakespan),
+        both && out.memMakespan > 0.0
+            ? fmt(out.partMakespan / out.memMakespan)
+            : "",
+        fmt(out.partSeconds),
+        fmt(out.memSeconds),
+    });
+  }
+  return support::writeCsv(
+      path,
+      {"instance", "band", "family", "tasks", "part_feasible",
+       "mem_feasible", "part_makespan", "mem_makespan", "ratio",
+       "part_seconds", "mem_seconds"},
+      rows);
+}
+
+std::string maybeExportCsv(const std::string& name,
+                           const std::vector<RunOutcome>& outcomes) {
+  const std::string dir = support::getEnvOr("DAGPM_CSV", "");
+  if (dir.empty()) return "";
+  const std::string path = dir + "/" + name + ".csv";
+  if (!exportOutcomesCsv(path, outcomes)) return "";
+  return path;
+}
+
+}  // namespace dagpm::experiments

@@ -1,0 +1,23 @@
+#pragma once
+// CSV export of experiment outcomes. Benches honor DAGPM_CSV=<dir>: when
+// set, each bench also writes its raw per-instance results to
+// <dir>/<name>.csv so figures can be re-plotted externally.
+
+#include <string>
+#include <vector>
+
+#include "experiments/harness.hpp"
+
+namespace dagpm::experiments {
+
+/// Writes one row per outcome (instance, band, family, tasks, feasibility,
+/// makespans, runtimes, ratio). Returns false on I/O failure.
+bool exportOutcomesCsv(const std::string& path,
+                       const std::vector<RunOutcome>& outcomes);
+
+/// If DAGPM_CSV is set, writes `outcomes` to $DAGPM_CSV/<name>.csv and
+/// returns the path; otherwise returns an empty string.
+std::string maybeExportCsv(const std::string& name,
+                           const std::vector<RunOutcome>& outcomes);
+
+}  // namespace dagpm::experiments

@@ -1,0 +1,255 @@
+#include "experiments/harness.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "scheduler/solution.hpp"
+#include "support/env.hpp"
+#include "support/stats.hpp"
+
+namespace dagpm::experiments {
+
+using workflows::Family;
+using workflows::SizeBand;
+
+std::vector<Instance> makeSyntheticInstances(const std::vector<int>& sizes,
+                                             SizeBand band, int seeds,
+                                             double workScale) {
+  std::vector<Instance> instances;
+  for (const Family family : workflows::allFamilies()) {
+    for (const int n : sizes) {
+      for (int seed = 1; seed <= seeds; ++seed) {
+        workflows::GenConfig cfg;
+        cfg.numTasks = n;
+        cfg.seed = static_cast<std::uint64_t>(seed);
+        cfg.workScale = workScale;
+        Instance inst;
+        inst.family = workflows::familyName(family);
+        inst.numTasks = n;
+        inst.band = band;
+        std::ostringstream name;
+        name << inst.family << "-n" << n << "-s" << seed;
+        if (workScale != 1.0) name << "-w" << workScale;
+        inst.name = name.str();
+        inst.dag = workflows::generate(family, cfg);
+        instances.push_back(std::move(inst));
+      }
+    }
+  }
+  return instances;
+}
+
+std::vector<Instance> makeRealInstances(int seeds, double workScale) {
+  std::vector<Instance> instances;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    workflows::RealWorldConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    cfg.workScale = workScale;
+    for (workflows::RealWorkflow& wf : workflows::realWorldSuite(cfg)) {
+      Instance inst;
+      inst.family = wf.name;
+      inst.numTasks = static_cast<int>(wf.dag.numVertices());
+      inst.band = SizeBand::kReal;
+      std::ostringstream name;
+      name << "real-" << wf.name << "-s" << seed;
+      if (workScale != 1.0) name << "-w" << workScale;
+      inst.name = name.str();
+      inst.dag = std::move(wf.dag);
+      instances.push_back(std::move(inst));
+    }
+  }
+  return instances;
+}
+
+namespace {
+
+struct CachedRun {
+  bool feasible = false;
+  double makespan = 0.0;
+  double seconds = 0.0;
+};
+
+std::optional<CachedRun> lookupCached(const RunnerOptions& options,
+                                      const std::string& key) {
+  if (options.cache == nullptr) return std::nullopt;
+  std::optional<CachedRun> result;
+  // The cache map is shared by all worker threads.
+#ifdef _OPENMP
+#pragma omp critical(dagpm_result_cache)
+#endif
+  {
+    const auto feasible = options.cache->lookup(key + "/feasible");
+    const auto makespan = options.cache->lookup(key + "/makespan");
+    const auto seconds = options.cache->lookup(key + "/seconds");
+    if (feasible && makespan && seconds) {
+      result = CachedRun{*feasible != 0.0, *makespan, *seconds};
+    }
+  }
+  return result;
+}
+
+void storeCached(const RunnerOptions& options, const std::string& key,
+                 const CachedRun& run) {
+  if (options.cache == nullptr) return;
+#ifdef _OPENMP
+#pragma omp critical(dagpm_result_cache)
+#endif
+  {
+    options.cache->store(key + "/feasible", run.feasible ? 1.0 : 0.0);
+    options.cache->store(key + "/makespan", run.makespan);
+    options.cache->store(key + "/seconds", run.seconds);
+  }
+}
+
+}  // namespace
+
+std::vector<RunOutcome> runComparison(const std::vector<Instance>& instances,
+                                      const platform::Cluster& cluster,
+                                      const RunnerOptions& options) {
+  std::vector<RunOutcome> outcomes(instances.size());
+
+  auto runOne = [&](std::size_t i) {
+    const Instance& inst = instances[i];
+    RunOutcome& out = outcomes[i];
+    out.instance = inst.name;
+    out.band = inst.band;
+    out.family = inst.family;
+    out.numTasks = inst.numTasks;
+
+    // Sec. 5.1.2: grow memories proportionally until the most demanding
+    // task fits somewhere.
+    platform::Cluster scaled = cluster;
+    scaled.scaleMemoriesToFit(inst.dag.maxTaskMemoryRequirement());
+
+    const std::string keyBase = options.cacheTag + "|" + inst.name + "|";
+
+    CachedRun part;
+    if (const auto cached = lookupCached(options, keyBase + "part")) {
+      part = *cached;
+    } else {
+      // The instance-level parallel loop already saturates the cores, so
+      // the k' sweep runs sequentially inside it.
+      scheduler::DagHetPartConfig cfg = options.part;
+      cfg.parallelSweep = !options.parallelInstances;
+      const scheduler::ScheduleResult r =
+          scheduler::dagHetPart(inst.dag, scaled, cfg);
+      part = {r.feasible, r.makespan, r.stats.seconds};
+      if (options.validate && r.feasible) {
+        const memory::MemDagOracle oracle(inst.dag, options.part.oracle);
+        const auto report =
+            scheduler::validateSchedule(inst.dag, scaled, oracle, r);
+        if (!report.valid) {
+          throw std::logic_error("invalid DagHetPart schedule on " +
+                                 inst.name + ": " + report.error);
+        }
+      }
+      storeCached(options, keyBase + "part", part);
+    }
+
+    CachedRun mem;
+    if (const auto cached = lookupCached(options, keyBase + "mem")) {
+      mem = *cached;
+    } else {
+      const scheduler::ScheduleResult r =
+          scheduler::dagHetMem(inst.dag, scaled, options.mem);
+      mem = {r.feasible, r.makespan, r.stats.seconds};
+      if (options.validate && r.feasible) {
+        const memory::MemDagOracle oracle(inst.dag, options.mem.oracle);
+        const auto report =
+            scheduler::validateSchedule(inst.dag, scaled, oracle, r);
+        if (!report.valid) {
+          throw std::logic_error("invalid DagHetMem schedule on " +
+                                 inst.name + ": " + report.error);
+        }
+      }
+      storeCached(options, keyBase + "mem", mem);
+    }
+
+    out.partFeasible = part.feasible;
+    out.partMakespan = part.makespan;
+    out.partSeconds = part.seconds;
+    out.memFeasible = mem.feasible;
+    out.memMakespan = mem.makespan;
+    out.memSeconds = mem.seconds;
+  };
+
+#ifdef _OPENMP
+  if (options.parallelInstances) {
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t i = 0; i < instances.size(); ++i) runOne(i);
+  } else {
+    for (std::size_t i = 0; i < instances.size(); ++i) runOne(i);
+  }
+#else
+  for (std::size_t i = 0; i < instances.size(); ++i) runOne(i);
+#endif
+  return outcomes;
+}
+
+namespace {
+
+Aggregate aggregateGroup(const std::vector<const RunOutcome*>& group) {
+  Aggregate agg;
+  std::vector<double> ratios, partMs, memMs, partSec, memSec, runtimeRatios;
+  for (const RunOutcome* out : group) {
+    ++agg.total;
+    if (out->partFeasible) ++agg.partScheduled;
+    if (out->memFeasible) ++agg.memScheduled;
+    if (out->partFeasible && out->memFeasible) {
+      ++agg.scheduledBoth;
+      if (out->memMakespan > 0.0) {
+        ratios.push_back(out->partMakespan / out->memMakespan);
+      }
+      partMs.push_back(out->partMakespan);
+      memMs.push_back(out->memMakespan);
+      partSec.push_back(out->partSeconds);
+      memSec.push_back(out->memSeconds);
+      if (out->memSeconds > 0.0 && out->partSeconds > 0.0) {
+        runtimeRatios.push_back(out->partSeconds / out->memSeconds);
+      }
+    }
+  }
+  agg.geomeanRatio = support::geometricMean(ratios);
+  agg.geomeanPartMakespan = support::geometricMean(partMs);
+  agg.geomeanMemMakespan = support::geometricMean(memMs);
+  agg.meanPartSeconds = support::mean(partSec);
+  agg.meanMemSeconds = support::mean(memSec);
+  agg.geomeanRuntimeRatio = support::geometricMean(runtimeRatios);
+  return agg;
+}
+
+}  // namespace
+
+std::map<SizeBand, Aggregate> aggregateByBand(
+    const std::vector<RunOutcome>& outcomes) {
+  std::map<SizeBand, std::vector<const RunOutcome*>> groups;
+  for (const RunOutcome& out : outcomes) groups[out.band].push_back(&out);
+  std::map<SizeBand, Aggregate> result;
+  for (const auto& [band, group] : groups) {
+    result[band] = aggregateGroup(group);
+  }
+  return result;
+}
+
+std::map<std::string, Aggregate> aggregateBy(
+    const std::vector<RunOutcome>& outcomes,
+    const std::function<std::string(const RunOutcome&)>& keyOf) {
+  std::map<std::string, std::vector<const RunOutcome*>> groups;
+  for (const RunOutcome& out : outcomes) groups[keyOf(out)].push_back(&out);
+  std::map<std::string, Aggregate> result;
+  for (const auto& [key, group] : groups) {
+    result[key] = aggregateGroup(group);
+  }
+  return result;
+}
+
+std::string defaultCachePath() {
+  return support::getEnvOr("DAGPM_CACHE", "dagpm_results.cache");
+}
+
+}  // namespace dagpm::experiments

@@ -1,0 +1,97 @@
+#pragma once
+// Experiment harness: builds the paper's instance sets, runs both schedulers
+// over them (OpenMP-parallel across instances), caches results on disk so
+// the bench binaries can share work, and aggregates relative makespans the
+// way the paper reports them (geometric mean of per-workflow ratios).
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "platform/cluster.hpp"
+#include "scheduler/daghetmem.hpp"
+#include "scheduler/daghetpart.hpp"
+#include "support/csv.hpp"
+#include "workflows/families.hpp"
+#include "workflows/real_world.hpp"
+
+namespace dagpm::experiments {
+
+struct Instance {
+  std::string name;  // "BLAST-n1000-s1" or "real-sarek-s1"
+  workflows::SizeBand band = workflows::SizeBand::kSmall;
+  std::string family;  // family or real-workflow name
+  int numTasks = 0;
+  graph::Dag dag;
+};
+
+/// Synthetic instances: every family that can be generated at each size.
+std::vector<Instance> makeSyntheticInstances(const std::vector<int>& sizes,
+                                             workflows::SizeBand band,
+                                             int seeds, double workScale = 1.0);
+
+/// The five real-world-like workflows.
+std::vector<Instance> makeRealInstances(int seeds, double workScale = 1.0);
+
+/// One scheduling comparison on one instance.
+struct RunOutcome {
+  std::string instance;
+  workflows::SizeBand band = workflows::SizeBand::kSmall;
+  std::string family;
+  int numTasks = 0;
+  bool partFeasible = false;
+  bool memFeasible = false;
+  double partMakespan = 0.0;
+  double memMakespan = 0.0;
+  double partSeconds = 0.0;
+  double memSeconds = 0.0;
+};
+
+struct RunnerOptions {
+  scheduler::DagHetPartConfig part;
+  scheduler::DagHetMemConfig mem;
+  /// Identifies the (cluster, config) combination in the shared cache; runs
+  /// are only reused across bench binaries when tags match. Empty = no cache.
+  std::string cacheTag;
+  support::ResultCache* cache = nullptr;
+  bool parallelInstances = true;  // OpenMP across instances
+  bool validate = false;          // re-validate every feasible schedule
+};
+
+/// Runs DagHetPart and DagHetMem on every instance. Before scheduling, the
+/// cluster's memories are scaled (copy) so the largest task requirement fits
+/// somewhere, per Sec. 5.1.2.
+std::vector<RunOutcome> runComparison(const std::vector<Instance>& instances,
+                                      const platform::Cluster& cluster,
+                                      const RunnerOptions& options);
+
+/// Per-group aggregation (the paper reports geometric means of ratios).
+struct Aggregate {
+  int total = 0;
+  int scheduledBoth = 0;   // both schedulers found a valid mapping
+  int partScheduled = 0;
+  int memScheduled = 0;
+  double geomeanRatio = 0.0;      // geomean(part/mem makespan), both feasible
+  double geomeanPartMakespan = 0.0;
+  double geomeanMemMakespan = 0.0;
+  double meanPartSeconds = 0.0;
+  double meanMemSeconds = 0.0;
+  double geomeanRuntimeRatio = 0.0;  // geomean(part/mem runtime)
+};
+
+/// Groups outcomes by size band.
+std::map<workflows::SizeBand, Aggregate> aggregateByBand(
+    const std::vector<RunOutcome>& outcomes);
+
+/// Groups outcomes by an arbitrary key (family, size, ...).
+std::map<std::string, Aggregate> aggregateBy(
+    const std::vector<RunOutcome>& outcomes,
+    const std::function<std::string(const RunOutcome&)>& keyOf);
+
+/// Standard path of the shared bench result cache (honors DAGPM_CACHE).
+std::string defaultCachePath();
+
+}  // namespace dagpm::experiments

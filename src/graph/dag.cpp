@@ -1,0 +1,80 @@
+#include "graph/dag.hpp"
+
+#include <algorithm>
+
+namespace dagpm::graph {
+
+void Dag::reserve(std::size_t vertices, std::size_t edges) {
+  work_.reserve(vertices);
+  memory_.reserve(vertices);
+  labels_.reserve(vertices);
+  out_.reserve(vertices);
+  in_.reserve(vertices);
+  edges_.reserve(edges);
+}
+
+VertexId Dag::addVertex(double work, double memory, std::string label) {
+  assert(work >= 0.0 && memory >= 0.0);
+  const auto id = static_cast<VertexId>(work_.size());
+  work_.push_back(work);
+  memory_.push_back(memory);
+  labels_.push_back(std::move(label));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+EdgeId Dag::addEdge(VertexId u, VertexId v, double cost) {
+  assert(u < numVertices() && v < numVertices());
+  assert(u != v && "self-loops are not allowed in a workflow DAG");
+  assert(cost >= 0.0);
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, cost});
+  out_[u].push_back(id);
+  in_[v].push_back(id);
+  return id;
+}
+
+double Dag::outCost(VertexId v) const noexcept {
+  double s = 0.0;
+  for (const EdgeId e : out_[v]) s += edges_[e].cost;
+  return s;
+}
+
+double Dag::inCost(VertexId v) const noexcept {
+  double s = 0.0;
+  for (const EdgeId e : in_[v]) s += edges_[e].cost;
+  return s;
+}
+
+double Dag::totalWork() const noexcept {
+  double s = 0.0;
+  for (const double w : work_) s += w;
+  return s;
+}
+
+double Dag::maxTaskMemoryRequirement() const noexcept {
+  double best = 0.0;
+  for (VertexId v = 0; v < numVertices(); ++v) {
+    best = std::max(best, taskMemoryRequirement(v));
+  }
+  return best;
+}
+
+std::vector<VertexId> Dag::sources() const {
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < numVertices(); ++v) {
+    if (in_[v].empty()) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<VertexId> Dag::targets() const {
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < numVertices(); ++v) {
+    if (out_[v].empty()) result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace dagpm::graph

@@ -1,0 +1,111 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace dagpm::graph {
+
+Dag randomLayeredDag(const LayeredDagConfig& cfg) {
+  support::Rng rng(cfg.seed);
+  Dag g;
+  std::vector<std::vector<VertexId>> layer(cfg.layers);
+  for (int l = 0; l < cfg.layers; ++l) {
+    const int count =
+        1 + static_cast<int>(rng.uniformInt(0, cfg.maxWidth - 1));
+    for (int i = 0; i < count; ++i) {
+      const VertexId v = g.addVertex(
+          static_cast<double>(rng.uniformInt(1, static_cast<std::int64_t>(
+                                                    cfg.maxWork))),
+          static_cast<double>(rng.uniformInt(1, static_cast<std::int64_t>(
+                                                    cfg.maxMemory))));
+      layer[l].push_back(v);
+      if (l == 0) continue;
+      const int parents =
+          1 + static_cast<int>(rng.uniformInt(0, cfg.maxInDegree - 1));
+      for (int p = 0; p < parents; ++p) {
+        const int pl = static_cast<int>(rng.uniformInt(0, l - 1));
+        const auto& candidates = layer[pl];
+        const VertexId u = candidates[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(candidates.size()) - 1))];
+        g.addEdge(u, v,
+                  static_cast<double>(rng.uniformInt(
+                      1, static_cast<std::int64_t>(cfg.maxEdgeCost))));
+      }
+    }
+  }
+  return g;
+}
+
+namespace {
+
+class SpBuilder {
+ public:
+  SpBuilder(Dag& g, support::Rng& rng, const SpDagConfig& cfg)
+      : g_(g), rng_(rng), cfg_(cfg) {}
+
+  void build(VertexId src, VertexId dst, int budget) {
+    if (budget <= 0) {
+      g_.addEdge(src, dst, edgeCost());
+      return;
+    }
+    const int choice = static_cast<int>(rng_.uniformInt(0, 2));
+    if (choice == 0 && budget >= 1) {
+      // Series composition: src -> mid -> dst.
+      const VertexId mid = vertex();
+      const int left = static_cast<int>(rng_.uniformInt(0, budget - 1));
+      build(src, mid, left);
+      build(mid, dst, budget - 1 - left);
+    } else {
+      // Parallel composition: 2..3 branches between the terminals.
+      const int branches = 2 + static_cast<int>(rng_.uniformInt(0, 1));
+      int remaining = budget;
+      for (int b = 0; b < branches; ++b) {
+        const int share = (b == branches - 1)
+                              ? remaining
+                              : static_cast<int>(rng_.uniformInt(0, remaining));
+        remaining -= share;
+        if (share == 0) {
+          g_.addEdge(src, dst, edgeCost());
+        } else {
+          const VertexId mid = vertex();
+          build(src, mid, (share - 1) / 2);
+          build(mid, dst, share - 1 - (share - 1) / 2);
+        }
+      }
+    }
+  }
+
+  VertexId vertex() {
+    return g_.addVertex(
+        static_cast<double>(
+            rng_.uniformInt(1, static_cast<std::int64_t>(cfg_.maxWork))),
+        static_cast<double>(
+            rng_.uniformInt(1, static_cast<std::int64_t>(cfg_.maxMemory))));
+  }
+
+ private:
+  double edgeCost() {
+    return static_cast<double>(
+        rng_.uniformInt(1, static_cast<std::int64_t>(cfg_.maxEdgeCost)));
+  }
+
+  Dag& g_;
+  support::Rng& rng_;
+  const SpDagConfig& cfg_;
+};
+
+}  // namespace
+
+Dag randomSpDag(const SpDagConfig& cfg) {
+  support::Rng rng(cfg.seed);
+  Dag g;
+  SpBuilder builder(g, rng, cfg);
+  const VertexId s = builder.vertex();
+  const VertexId t = builder.vertex();
+  builder.build(s, t, std::max(0, cfg.targetSize - 2));
+  return g;
+}
+
+}  // namespace dagpm::graph

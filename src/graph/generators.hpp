@@ -1,0 +1,41 @@
+#pragma once
+// Random DAG generators for testing, fuzzing and benchmarking.
+//
+// Unlike the workflow-family generators in src/workflows (which mimic the
+// paper's WfGen models), these produce unstructured DAGs with controllable
+// shape parameters; the test suite's property tests are built on them.
+
+#include <cstdint>
+
+#include "graph/dag.hpp"
+
+namespace dagpm::graph {
+
+struct LayeredDagConfig {
+  int layers = 6;
+  int maxWidth = 5;        // 1..maxWidth vertices per layer
+  int maxInDegree = 3;     // 1..maxInDegree parents per non-source vertex
+  double maxWork = 100.0;  // weights ~ U{1..max}
+  double maxMemory = 50.0;
+  double maxEdgeCost = 10.0;
+  std::uint64_t seed = 1;
+};
+
+/// Random layered DAG: every non-source vertex draws parents from strictly
+/// earlier layers, so the result is acyclic by construction.
+Dag randomLayeredDag(const LayeredDagConfig& cfg);
+
+struct SpDagConfig {
+  int targetSize = 12;     // approximate vertex count
+  double maxWork = 100.0;
+  double maxMemory = 50.0;
+  double maxEdgeCost = 10.0;
+  std::uint64_t seed = 1;
+};
+
+/// Random two-terminal series-parallel DAG built by recursive series /
+/// parallel composition; guaranteed TTSP (after virtual-terminal
+/// augmentation), used to validate the SP scheduler.
+Dag randomSpDag(const SpDagConfig& cfg);
+
+}  // namespace dagpm::graph

@@ -1,0 +1,67 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "graph/topology.hpp"
+
+namespace dagpm::graph {
+
+DagStats computeStats(const Dag& g) {
+  DagStats stats;
+  stats.numVertices = g.numVertices();
+  stats.numEdges = g.numEdges();
+  if (g.numVertices() == 0) return stats;
+
+  const auto levels = topLevels(g);
+  std::map<std::uint32_t, std::size_t> widthOfLevel;
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    stats.numSources += g.inDegree(v) == 0;
+    stats.numTargets += g.outDegree(v) == 0;
+    stats.maxOutDegree = std::max(stats.maxOutDegree, g.outDegree(v));
+    stats.maxInDegree = std::max(stats.maxInDegree, g.inDegree(v));
+    stats.totalWork += g.work(v);
+    stats.totalMemory += g.memory(v);
+    stats.maxTaskMemoryRequirement =
+        std::max(stats.maxTaskMemoryRequirement, g.taskMemoryRequirement(v));
+    stats.depth = std::max(stats.depth, static_cast<std::size_t>(levels[v]));
+    ++widthOfLevel[levels[v]];
+  }
+  for (const auto& [level, width] : widthOfLevel) {
+    stats.maxLevelWidth = std::max(stats.maxLevelWidth, width);
+  }
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    stats.totalEdgeCost += g.edge(e).cost;
+  }
+  stats.avgDegree = 2.0 * static_cast<double>(g.numEdges()) /
+                    static_cast<double>(g.numVertices());
+  stats.ccr = stats.totalWork > 0.0 ? stats.totalEdgeCost / stats.totalWork
+                                    : 0.0;
+  stats.chainedness = static_cast<double>(stats.depth + 1) /
+                      static_cast<double>(g.numVertices());
+  return stats;
+}
+
+void printStats(std::ostream& os, const DagStats& stats) {
+  os << "  tasks: " << stats.numVertices << ", edges: " << stats.numEdges
+     << ", sources/targets: " << stats.numSources << "/" << stats.numTargets
+     << "\n  depth: " << stats.depth
+     << ", max level width: " << stats.maxLevelWidth
+     << ", max out/in degree: " << stats.maxOutDegree << "/"
+     << stats.maxInDegree << "\n  total work: " << stats.totalWork
+     << ", total memory: " << stats.totalMemory
+     << ", max task requirement: " << stats.maxTaskMemoryRequirement
+     << "\n  instance CCR: " << stats.ccr
+     << ", chainedness: " << stats.chainedness << "\n";
+}
+
+std::string describe(const Dag& g, const std::string& name) {
+  std::ostringstream oss;
+  oss << name << ":\n";
+  printStats(oss, computeStats(g));
+  return oss.str();
+}
+
+}  // namespace dagpm::graph

@@ -1,0 +1,42 @@
+#pragma once
+// Workflow statistics: structural and weight profiles of a DAG. Used by the
+// examples and benches to describe instances, and by the generators' tests
+// to verify family signatures (fan-out vs chain-dominated, Sec. 5.2.5/5.2.6).
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "graph/dag.hpp"
+
+namespace dagpm::graph {
+
+struct DagStats {
+  std::size_t numVertices = 0;
+  std::size_t numEdges = 0;
+  std::size_t numSources = 0;
+  std::size_t numTargets = 0;
+  std::size_t depth = 0;       // longest path, in edges
+  std::size_t maxLevelWidth = 0;  // widest top-level (parallelism proxy)
+  std::size_t maxOutDegree = 0;
+  std::size_t maxInDegree = 0;
+  double avgDegree = 0.0;      // (in+out)/vertex
+  double totalWork = 0.0;
+  double totalMemory = 0.0;
+  double totalEdgeCost = 0.0;
+  double maxTaskMemoryRequirement = 0.0;  // max r_u
+  /// Communication-to-computation ratio of the instance itself:
+  /// sum of edge costs / sum of work.
+  double ccr = 0.0;
+  /// depth / numVertices: 1.0 for a chain, ~2/n for a flat fork-join.
+  double chainedness = 0.0;
+};
+
+/// Computes all statistics in one pass (requires an acyclic graph).
+DagStats computeStats(const Dag& g);
+
+/// Human-readable one-instance summary.
+std::string describe(const Dag& g, const std::string& name = "workflow");
+void printStats(std::ostream& os, const DagStats& stats);
+
+}  // namespace dagpm::graph

@@ -1,0 +1,38 @@
+#pragma once
+// Topological utilities on workflow DAGs: orders, levels, acyclicity,
+// reachability. These are the primitives both the partitioner and the
+// memory-traversal oracle are built on.
+
+#include <optional>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace dagpm::graph {
+
+/// Kahn topological order; std::nullopt if the graph contains a cycle.
+std::optional<std::vector<VertexId>> topologicalOrder(const Dag& g);
+
+/// True iff the graph is acyclic.
+bool isAcyclic(const Dag& g);
+
+/// Top levels: length (in edges) of the longest path from any source.
+/// Sources get level 0. Requires an acyclic graph.
+std::vector<std::uint32_t> topLevels(const Dag& g);
+
+/// Bottom levels weighted by work: bl(v) = w_v + max over children bl(c).
+/// Requires an acyclic graph. (Unit speeds; platform-aware bottom weights
+/// live in the quotient module.)
+std::vector<double> bottomWorkLevels(const Dag& g);
+
+/// DFS-based topological order with deterministic tie-breaking controlled by
+/// `reverseChildren` (two distinct valid orders for portfolio heuristics).
+std::vector<VertexId> dfsTopologicalOrder(const Dag& g, bool reverseChildren);
+
+/// True iff `order` is a permutation of all vertices respecting all edges.
+bool isTopologicalOrder(const Dag& g, const std::vector<VertexId>& order);
+
+/// Vertices reachable from `start` (following out-edges), including start.
+std::vector<bool> reachableFrom(const Dag& g, VertexId start);
+
+}  // namespace dagpm::graph

@@ -1,0 +1,88 @@
+#include "graph/transitive_reduction.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/topology.hpp"
+
+namespace dagpm::graph {
+
+namespace {
+
+/// Is `target` reachable from `start` through a path of length >= 2?
+/// All direct start->target edges are ignored, so parallel duplicates of an
+/// edge cannot certify each other's redundancy.
+bool reachableIndirectly(const Dag& g, VertexId start, VertexId target) {
+  std::vector<bool> seen(g.numVertices(), false);
+  std::vector<VertexId> stack{start};
+  seen[start] = true;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const EdgeId e : g.outEdges(v)) {
+      const VertexId w = g.edge(e).dst;
+      if (v == start && w == target) continue;  // direct edge, skip
+      if (w == target) return true;
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool isRedundantEdge(const Dag& g, EdgeId e) {
+  return reachableIndirectly(g, g.edge(e).src, g.edge(e).dst);
+}
+
+TransitiveReductionResult transitiveReduction(
+    const Dag& g, const TransitiveReductionConfig& cfg) {
+  assert(isAcyclic(g));
+  TransitiveReductionResult result;
+
+  // An edge is redundant iff its head is reachable from its tail through a
+  // path of length >= 2 *in the original graph* (redundancy is a property
+  // of the transitive closure, so checks need not be interleaved with
+  // removals -- the reduction of a simple DAG is unique). Parallel
+  // duplicates of a kept edge are additionally dropped (all but the first).
+  std::vector<bool> drop(g.numEdges(), false);
+  std::vector<std::uint64_t> seenPairs;
+  // Non-removable (data-carrying) edges already guarantee their precedence
+  // pair; zero-cost duplicates of them are redundant.
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    if (g.edge(e).cost > cfg.maxRemovableCost) {
+      seenPairs.push_back(
+          (static_cast<std::uint64_t>(g.edge(e).src) << 32) | g.edge(e).dst);
+    }
+  }
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    if (g.edge(e).cost > cfg.maxRemovableCost) continue;
+    const std::uint64_t pair =
+        (static_cast<std::uint64_t>(g.edge(e).src) << 32) | g.edge(e).dst;
+    const bool duplicate =
+        std::find(seenPairs.begin(), seenPairs.end(), pair) != seenPairs.end();
+    if (duplicate || isRedundantEdge(g, e)) {
+      drop[e] = true;
+      result.removed.push_back(e);
+    } else {
+      seenPairs.push_back(pair);
+    }
+  }
+  result.removedEdges = result.removed.size();
+
+  result.dag.reserve(g.numVertices(), g.numEdges() - result.removedEdges);
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    result.dag.addVertex(g.work(v), g.memory(v), g.label(v));
+  }
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    if (!drop[e]) {
+      result.dag.addEdge(g.edge(e).src, g.edge(e).dst, g.edge(e).cost);
+    }
+  }
+  return result;
+}
+
+}  // namespace dagpm::graph

@@ -1,0 +1,39 @@
+#pragma once
+// Transitive reduction of workflow DAGs.
+//
+// Workflow exports often contain redundant precedence edges (the paper
+// removes nextflow's pseudo-task artifacts before scheduling). An edge
+// (u,v) is redundant iff v is reachable from u without it; removing such
+// edges changes neither the precedence relation nor the critical path
+// *structure*, but note that it removes the edge's communication volume, so
+// weighted schedulers should only drop true duplicates of zero-cost
+// precedence edges -- callers choose via the config.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace dagpm::graph {
+
+struct TransitiveReductionResult {
+  Dag dag;                      // the reduced graph (same vertex ids)
+  std::size_t removedEdges = 0;
+  std::vector<EdgeId> removed;  // ids in the original graph
+};
+
+struct TransitiveReductionConfig {
+  /// Only remove redundant edges whose cost is <= this bound. The default
+  /// (0) removes pure precedence edges and keeps every data transfer.
+  double maxRemovableCost = 0.0;
+};
+
+/// Computes the transitive reduction (O(V * E) reachability sweeps).
+/// Requires an acyclic graph.
+TransitiveReductionResult transitiveReduction(
+    const Dag& g, const TransitiveReductionConfig& cfg = {});
+
+/// True iff edge (u,v) is redundant: a u->v path of length >= 2 exists.
+bool isRedundantEdge(const Dag& g, EdgeId e);
+
+}  // namespace dagpm::graph

@@ -1,0 +1,65 @@
+#include "memory/greedy.hpp"
+
+#include <queue>
+
+#include "memory/simulate.hpp"
+
+namespace dagpm::memory {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+std::vector<VertexId> greedyOrder(const graph::SubDag& sub, GreedyRule rule) {
+  const graph::Dag& g = sub.dag;
+  const BoundaryCosts costs(sub);
+  const std::size_t n = g.numVertices();
+
+  std::vector<double> footprint(n), delta(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const double out = g.outCost(v);
+    const double in = g.inCost(v);
+    footprint[v] = g.memory(v) + out + costs.externalOut[v] +
+                   costs.externalIn[v];
+    delta[v] = out + costs.externalOut[v] - in;
+  }
+
+  struct Entry {
+    double primary;
+    double secondary;
+    VertexId v;
+    bool operator>(const Entry& other) const {
+      if (primary != other.primary) return primary > other.primary;
+      if (secondary != other.secondary) return secondary > other.secondary;
+      return v > other.v;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+  auto push = [&](VertexId v) {
+    if (rule == GreedyRule::kMinFootprint) {
+      ready.push(Entry{footprint[v], delta[v], v});
+    } else {
+      ready.push(Entry{delta[v], footprint[v], v});
+    }
+  };
+
+  std::vector<std::uint32_t> indeg(n);
+  for (VertexId v = 0; v < n; ++v) {
+    indeg[v] = static_cast<std::uint32_t>(g.inDegree(v));
+    if (indeg[v] == 0) push(v);
+  }
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const VertexId v = ready.top().v;
+    ready.pop();
+    order.push_back(v);
+    for (const EdgeId e : g.outEdges(v)) {
+      const VertexId w = g.edge(e).dst;
+      if (--indeg[w] == 0) push(w);
+    }
+  }
+  return order;
+}
+
+}  // namespace dagpm::memory

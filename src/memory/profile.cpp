@@ -1,0 +1,101 @@
+#include "memory/profile.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dagpm::memory {
+
+Profile decomposeProfile(std::span<const graph::VertexId> tasks,
+                         std::span<const double> stepMemory,
+                         std::span<const double> residentAfter,
+                         double startResident) {
+  assert(tasks.size() == stepMemory.size());
+  assert(tasks.size() == residentAfter.size());
+  Profile profile;
+  profile.startResident = startResident;
+
+  std::size_t begin = 0;
+  double segStartResident = startResident;
+  while (begin < tasks.size()) {
+    // Segment = prefix of the remainder ending at the (last) minimum of the
+    // remaining resident values. Cutting at the global suffix minimum makes
+    // the first segment the deepest dropper; subsequent segments are risers
+    // with non-increasing (hill - delta), which keeps the within-branch order
+    // compatible with the global merge rule.
+    std::size_t cut = begin;
+    double minResident = residentAfter[begin];
+    for (std::size_t i = begin; i < tasks.size(); ++i) {
+      if (residentAfter[i] <= minResident) {
+        minResident = residentAfter[i];
+        cut = i;
+      }
+    }
+    Segment seg;
+    double hill = 0.0;
+    for (std::size_t i = begin; i <= cut; ++i) {
+      hill = std::max(hill, stepMemory[i] - segStartResident);
+      seg.tasks.push_back(tasks[i]);
+    }
+    seg.hill = hill;
+    seg.delta = residentAfter[cut] - segStartResident;
+    segStartResident = residentAfter[cut];
+    profile.segments.push_back(std::move(seg));
+    begin = cut + 1;
+  }
+  return profile;
+}
+
+namespace {
+
+struct Tagged {
+  const Segment* seg;
+  std::size_t branch;
+  std::size_t index;  // position within the branch (precedence order)
+};
+
+/// Liu ordering: droppers before risers; droppers by increasing hill;
+/// risers by decreasing (hill - delta).
+bool liuLess(const Tagged& a, const Tagged& b) {
+  const bool aDrops = a.seg->delta < 0.0;
+  const bool bDrops = b.seg->delta < 0.0;
+  if (aDrops != bDrops) return aDrops;
+  if (aDrops) {
+    if (a.seg->hill != b.seg->hill) return a.seg->hill < b.seg->hill;
+  } else {
+    const double ka = a.seg->hill - a.seg->delta;
+    const double kb = b.seg->hill - b.seg->delta;
+    if (ka != kb) return ka > kb;
+  }
+  // Deterministic tie-breaking; never reorders within a branch against
+  // precedence because the sort below is stable.
+  return false;
+}
+
+}  // namespace
+
+std::vector<graph::VertexId> mergeProfiles(std::span<const Profile> branches) {
+  // K-way head-greedy merge: repeatedly take, among the branches' next
+  // unconsumed segments, the best one under the Liu rule. This preserves
+  // within-branch precedence by construction and coincides with a global
+  // sort whenever the canonical decomposition is well-ordered (it is, by
+  // Liu's segmentation lemma; the head-greedy form is robust regardless).
+  std::vector<std::size_t> next(branches.size(), 0);
+  std::vector<graph::VertexId> merged;
+  while (true) {
+    bool anyLeft = false;
+    Tagged best{nullptr, 0, 0};
+    for (std::size_t b = 0; b < branches.size(); ++b) {
+      if (next[b] >= branches[b].segments.size()) continue;
+      const Tagged cand{&branches[b].segments[next[b]], b, next[b]};
+      if (!anyLeft || liuLess(cand, best)) best = cand;
+      anyLeft = true;
+    }
+    if (!anyLeft) break;
+    merged.insert(merged.end(), best.seg->tasks.begin(),
+                  best.seg->tasks.end());
+    ++next[best.branch];
+  }
+  return merged;
+}
+
+}  // namespace dagpm::memory

@@ -1,0 +1,76 @@
+#include "memory/sp_schedule.hpp"
+
+#include <cassert>
+
+#include "memory/profile.hpp"
+
+namespace dagpm::memory {
+
+using graph::VertexId;
+
+namespace {
+
+class SpScheduler {
+ public:
+  SpScheduler(const graph::SubDag& sub, const SpTree& tree)
+      : sub_(sub), tree_(tree), costs_(sub) {}
+
+  std::vector<VertexId> schedule() { return scheduleNode(tree_.root); }
+
+ private:
+  /// Bottom-up: produces the task order for the subnetwork rooted at `node`.
+  std::vector<VertexId> scheduleNode(std::uint32_t node) {
+    const SpNode& n = tree_.nodes[node];
+    switch (n.kind) {
+      case SpNode::Kind::kTask:
+        return {n.task};
+      case SpNode::Kind::kSeries: {
+        std::vector<VertexId> order;
+        for (const std::uint32_t child : n.children) {
+          const auto childOrder = scheduleNode(child);
+          order.insert(order.end(), childOrder.begin(), childOrder.end());
+        }
+        return order;
+      }
+      case SpNode::Kind::kParallel: {
+        std::vector<Profile> profiles;
+        profiles.reserve(n.children.size());
+        for (const std::uint32_t child : n.children) {
+          const auto childOrder = scheduleNode(child);
+          if (childOrder.empty()) continue;  // pure connector edge
+          profiles.push_back(profileOf(childOrder));
+        }
+        return mergeProfiles(profiles);
+      }
+    }
+    return {};
+  }
+
+  /// Simulates `order` as a standalone branch: every in-edge from a vertex
+  /// outside the branch counts as crossing from the start (its producer is a
+  /// terminal or an ancestor in the composed schedule).
+  Profile profileOf(const std::vector<VertexId>& order) {
+    std::vector<bool> member(sub_.dag.numVertices(), false);
+    for (const VertexId v : order) member[v] = true;
+    const SimResult sim = simulateOrder(sub_, costs_, order, member);
+    return decomposeProfile(order, sim.stepMemory, sim.residentAfter,
+                            sim.startResident);
+  }
+
+  const graph::SubDag& sub_;
+  const SpTree& tree_;
+  BoundaryCosts costs_;
+};
+
+}  // namespace
+
+std::optional<std::vector<VertexId>> spOptimalOrder(const graph::SubDag& sub) {
+  const auto tree = buildSpTree(sub.dag);
+  if (!tree) return std::nullopt;
+  SpScheduler scheduler(sub, *tree);
+  auto order = scheduler.schedule();
+  assert(order.size() == sub.dag.numVertices());
+  return order;
+}
+
+}  // namespace dagpm::memory

@@ -1,0 +1,260 @@
+#include "memory/sp_tree.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace dagpm::memory {
+
+using graph::VertexId;
+
+namespace {
+
+/// Live multigraph edge during the reduction.
+struct MEdge {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t expr = 0;  // SP expression of absorbed interior tasks
+  bool alive = false;
+};
+
+class Reducer {
+ public:
+  explicit Reducer(const graph::Dag& g) : g_(g) {}
+
+  std::optional<SpTree> run() {
+    if (g_.numVertices() == 0) return std::nullopt;
+    setUpVertices();
+    if (g_.numVertices() == 1) {
+      // A single task is trivially SP: expression = Task(v).
+      SpTree tree;
+      tree.nodes.push_back(
+          SpNode{SpNode::Kind::kTask, 0, {}});
+      tree.root = 0;
+      return tree;
+    }
+    buildMultigraph();
+    reduce();
+    return finish();
+  }
+
+ private:
+  static constexpr std::uint32_t kNoEdge = 0xffffffffu;
+
+  void setUpVertices() {
+    const auto n = static_cast<std::uint32_t>(g_.numVertices());
+    source_ = n;      // virtual ids; may be fused with real terminals below
+    sink_ = n + 1;
+    numVertices_ = n + 2;
+    inDeg_.assign(numVertices_, 0);
+    outDeg_.assign(numVertices_, 0);
+    inEdges_.assign(numVertices_, {});
+    outEdges_.assign(numVertices_, {});
+  }
+
+  std::uint32_t makeExpr(SpNode node) {
+    nodes_.push_back(std::move(node));
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+
+  std::uint32_t emptySeries() {
+    return makeExpr(SpNode{SpNode::Kind::kSeries, graph::kInvalidVertex, {}});
+  }
+
+  void addMEdge(std::uint32_t u, std::uint32_t v, std::uint32_t expr) {
+    const auto id = static_cast<std::uint32_t>(edges_.size());
+    edges_.push_back(MEdge{u, v, expr, true});
+    outEdges_[u].push_back(id);
+    inEdges_[v].push_back(id);
+    ++outDeg_[u];
+    ++inDeg_[v];
+  }
+
+  void removeMEdge(std::uint32_t id) {
+    MEdge& e = edges_[id];
+    assert(e.alive);
+    e.alive = false;
+    --outDeg_[e.src];
+    --inDeg_[e.dst];
+  }
+
+  /// First alive edge id in `list`, compacting dead entries.
+  std::uint32_t firstAlive(std::vector<std::uint32_t>& list) {
+    while (!list.empty() && !edges_[list.back()].alive) list.pop_back();
+    // The list may still contain dead edges below the top; scan from the end.
+    for (auto it = list.rbegin(); it != list.rend(); ++it) {
+      if (edges_[*it].alive) return *it;
+    }
+    return kNoEdge;
+  }
+
+  void buildMultigraph() {
+    for (VertexId v = 0; v < g_.numVertices(); ++v) {
+      for (const graph::EdgeId e : g_.outEdges(v)) {
+        addMEdge(v, g_.edge(e).dst, emptySeries());
+      }
+    }
+    // Attach virtual terminals to all real sources/sinks with zero-cost
+    // connector edges; the connectors carry empty expressions.
+    for (VertexId v = 0; v < g_.numVertices(); ++v) {
+      if (inDeg_[v] == 0) addMEdge(source_, v, emptySeries());
+      if (outDeg_[v] == 0) addMEdge(v, sink_, emptySeries());
+    }
+  }
+
+  /// Appends `expr` into `series.children`, flattening nested series.
+  void appendFlattened(std::vector<std::uint32_t>& children,
+                       std::uint32_t expr) {
+    const SpNode& node = nodes_[expr];
+    if (node.kind == SpNode::Kind::kSeries) {
+      for (const std::uint32_t c : node.children) {
+        appendFlattened(children, c);
+      }
+    } else {
+      children.push_back(expr);
+    }
+  }
+
+  std::uint32_t seriesOf(std::uint32_t a, VertexId mid, std::uint32_t b) {
+    SpNode node{SpNode::Kind::kSeries, graph::kInvalidVertex, {}};
+    appendFlattened(node.children, a);
+    node.children.push_back(
+        makeExpr(SpNode{SpNode::Kind::kTask, mid, {}}));
+    appendFlattened(node.children, b);
+    return makeExpr(std::move(node));
+  }
+
+  std::uint32_t parallelOf(std::uint32_t a, std::uint32_t b) {
+    SpNode node{SpNode::Kind::kParallel, graph::kInvalidVertex, {}};
+    auto absorb = [&](std::uint32_t expr) {
+      if (nodes_[expr].kind == SpNode::Kind::kParallel) {
+        for (const std::uint32_t c : nodes_[expr].children) {
+          node.children.push_back(c);
+        }
+      } else {
+        node.children.push_back(expr);
+      }
+    };
+    absorb(a);
+    absorb(b);
+    return makeExpr(std::move(node));
+  }
+
+  static std::uint64_t pairKey(std::uint32_t u, std::uint32_t v) {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  /// Merges all alive parallel edges u->v into one; returns the survivor.
+  std::uint32_t mergeParallel(std::uint32_t u, std::uint32_t v) {
+    std::uint32_t survivor = kNoEdge;
+    for (const std::uint32_t id : outEdges_[u]) {
+      if (!edges_[id].alive || edges_[id].dst != v) continue;
+      if (survivor == kNoEdge) {
+        survivor = id;
+      } else {
+        edges_[survivor].expr =
+            parallelOf(edges_[survivor].expr, edges_[id].expr);
+        removeMEdge(id);
+      }
+    }
+    return survivor;
+  }
+
+  void reduce() {
+    // Candidate vertices for series reduction.
+    std::vector<std::uint32_t> queue;
+    auto enqueueIfSeries = [&](std::uint32_t v) {
+      if (v != source_ && v != sink_ && inDeg_[v] == 1 && outDeg_[v] == 1) {
+        queue.push_back(v);
+      }
+    };
+    // Initial parallel merges (multi-edges in the input).
+    for (std::uint32_t v = 0; v < numVertices_; ++v) {
+      std::unordered_map<std::uint32_t, int> count;
+      for (const std::uint32_t id : outEdges_[v]) {
+        if (edges_[id].alive) ++count[edges_[id].dst];
+      }
+      for (const auto& [dst, c] : count) {
+        if (c > 1) mergeParallel(v, dst);
+      }
+    }
+    for (std::uint32_t v = 0; v < numVertices_; ++v) enqueueIfSeries(v);
+
+    while (!queue.empty()) {
+      const std::uint32_t v = queue.back();
+      queue.pop_back();
+      if (v == source_ || v == sink_) continue;
+      if (inDeg_[v] != 1 || outDeg_[v] != 1) continue;  // stale entry
+      const std::uint32_t eIn = firstAlive(inEdges_[v]);
+      const std::uint32_t eOut = firstAlive(outEdges_[v]);
+      if (eIn == kNoEdge || eOut == kNoEdge) continue;
+      const std::uint32_t u = edges_[eIn].src;
+      const std::uint32_t w = edges_[eOut].dst;
+      if (u == w) continue;  // would form a self-loop; impossible in a DAG
+      const std::uint32_t expr =
+          seriesOf(edges_[eIn].expr,
+                   static_cast<VertexId>(v), edges_[eOut].expr);
+      removeMEdge(eIn);
+      removeMEdge(eOut);
+      addMEdge(u, w, expr);
+      mergeParallel(u, w);
+      enqueueIfSeries(u);
+      enqueueIfSeries(w);
+    }
+  }
+
+  std::optional<SpTree> finish() {
+    std::uint32_t last = kNoEdge;
+    std::size_t aliveCount = 0;
+    for (std::uint32_t id = 0; id < edges_.size(); ++id) {
+      if (edges_[id].alive) {
+        ++aliveCount;
+        last = id;
+      }
+    }
+    if (aliveCount != 1) return std::nullopt;  // not TTSP
+    const MEdge& e = edges_[last];
+    if (e.src != source_ || e.dst != sink_) return std::nullopt;
+    SpTree tree;
+    tree.nodes = std::move(nodes_);
+    tree.root = e.expr;
+    return tree;
+  }
+
+  const graph::Dag& g_;
+  std::uint32_t source_ = 0;
+  std::uint32_t sink_ = 0;
+  std::uint32_t numVertices_ = 0;
+  std::vector<std::uint32_t> inDeg_;
+  std::vector<std::uint32_t> outDeg_;
+  std::vector<std::vector<std::uint32_t>> inEdges_;
+  std::vector<std::vector<std::uint32_t>> outEdges_;
+  std::vector<MEdge> edges_;
+  std::vector<SpNode> nodes_;
+};
+
+}  // namespace
+
+std::vector<VertexId> SpTree::tasksUnder(std::uint32_t node) const {
+  std::vector<VertexId> result;
+  std::vector<std::uint32_t> stack{node};
+  while (!stack.empty()) {
+    const std::uint32_t cur = stack.back();
+    stack.pop_back();
+    const SpNode& n = nodes[cur];
+    if (n.kind == SpNode::Kind::kTask) {
+      result.push_back(n.task);
+    } else {
+      // Push children in reverse to emit them in order.
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  return result;
+}
+
+std::optional<SpTree> buildSpTree(const graph::Dag& g) {
+  return Reducer(g).run();
+}
+
+}  // namespace dagpm::memory

@@ -1,0 +1,57 @@
+#include "memory/spization.hpp"
+
+#include <algorithm>
+
+#include "graph/topology.hpp"
+#include "memory/simulate.hpp"
+
+namespace dagpm::memory {
+
+using graph::VertexId;
+
+std::vector<VertexId> layeredSpizationOrder(const graph::SubDag& sub) {
+  const graph::Dag& g = sub.dag;
+  const BoundaryCosts costs(sub);
+  const auto levels = graph::topLevels(g);
+
+  // Per-task spike (step memory above the running resident) and resident
+  // delta, as in the greedy portfolio.
+  std::vector<double> spike(g.numVertices()), delta(g.numVertices());
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    const double out = g.outCost(v);
+    const double in = g.inCost(v);
+    spike[v] = g.memory(v) + out + costs.externalOut[v] + costs.externalIn[v];
+    delta[v] = out + costs.externalOut[v] - in;
+  }
+
+  std::uint32_t maxLevel = 0;
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    maxLevel = std::max(maxLevel, levels[v]);
+  }
+  std::vector<std::vector<VertexId>> layer(maxLevel + 1);
+  for (VertexId v = 0; v < g.numVertices(); ++v) layer[levels[v]].push_back(v);
+
+  std::vector<VertexId> order;
+  order.reserve(g.numVertices());
+  for (auto& tasks : layer) {
+    // Liu rule within the layer: memory-releasing tasks first (smallest
+    // spike leading), then accumulating tasks by decreasing spike - delta.
+    std::sort(tasks.begin(), tasks.end(), [&](VertexId a, VertexId b) {
+      const bool aDrops = delta[a] < 0.0;
+      const bool bDrops = delta[b] < 0.0;
+      if (aDrops != bDrops) return aDrops;
+      if (aDrops) {
+        if (spike[a] != spike[b]) return spike[a] < spike[b];
+      } else {
+        const double ka = spike[a] - delta[a];
+        const double kb = spike[b] - delta[b];
+        if (ka != kb) return ka > kb;
+      }
+      return a < b;
+    });
+    order.insert(order.end(), tasks.begin(), tasks.end());
+  }
+  return order;
+}
+
+}  // namespace dagpm::memory

@@ -1,0 +1,36 @@
+#pragma once
+// Acyclicity-safe coarsening for the multilevel bisection (internal API).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "support/rng.hpp"
+
+namespace dagpm::partition::detail {
+
+/// One level of the multilevel hierarchy.
+struct Level {
+  graph::Dag dag;                           // coarse graph (weights summed)
+  std::vector<double> vertexWeight;         // balance weights, summed
+  std::vector<std::uint32_t> fineToCoarse;  // maps previous level's vertices
+};
+
+/// Contracts `dag` one round. Only edges (u,v) where v is u's unique
+/// out-neighbor or u is v's unique in-neighbor are contracted (no new
+/// reachability, hence provably acyclic), the absorbed endpoint must not
+/// have been touched this round, and merged cluster weights stay below
+/// `maxClusterWeight`. Returns the coarse level, or an empty fineToCoarse if
+/// no contraction was possible.
+Level coarsenOnce(const graph::Dag& dag,
+                  const std::vector<double>& vertexWeight,
+                  double maxClusterWeight, support::Rng& rng);
+
+/// Full coarsening loop: repeats coarsenOnce until the graph has at most
+/// `targetSize` vertices or a round shrinks it by less than 3 %.
+std::vector<Level> coarsen(const graph::Dag& dag,
+                           const std::vector<double>& vertexWeight,
+                           std::size_t targetSize, double maxClusterWeight,
+                           support::Rng& rng);
+
+}  // namespace dagpm::partition::detail

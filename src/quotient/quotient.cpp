@@ -1,0 +1,240 @@
+#include "quotient/quotient.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dagpm::quotient {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+QuotientGraph::QuotientGraph(const graph::Dag& g,
+                             const std::vector<std::uint32_t>& blockOf,
+                             std::uint32_t numBlocks)
+    : g_(&g) {
+  assert(blockOf.size() == g.numVertices());
+  nodes_.resize(numBlocks);
+  for (std::uint32_t b = 0; b < numBlocks; ++b) nodes_[b].alive = true;
+  numAlive_ = numBlocks;
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    const std::uint32_t b = blockOf[v];
+    assert(b < numBlocks);
+    nodes_[b].work += g.work(v);
+    nodes_[b].members.push_back(v);
+  }
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const graph::Edge& edge = g.edge(e);
+    const std::uint32_t a = blockOf[edge.src];
+    const std::uint32_t b = blockOf[edge.dst];
+    if (a == b) continue;
+    nodes_[a].out[b] += edge.cost;
+    nodes_[b].in[a] += edge.cost;
+  }
+}
+
+std::vector<BlockId> QuotientGraph::aliveNodes() const {
+  std::vector<BlockId> alive;
+  alive.reserve(numAlive_);
+  for (BlockId b = 0; b < nodes_.size(); ++b) {
+    if (nodes_[b].alive) alive.push_back(b);
+  }
+  return alive;
+}
+
+MergeTransaction QuotientGraph::merge(BlockId survivor, BlockId absorbed) {
+  assert(survivor != absorbed);
+  QNode& s = nodes_[survivor];
+  QNode& a = nodes_[absorbed];
+  assert(s.alive && a.alive);
+
+  MergeTransaction tx;
+  tx.survivor = survivor;
+  tx.absorbed = absorbed;
+  tx.survivorBefore = s;  // full copy; the absorbed node stays untouched
+
+  // Rewire the absorbed node's neighbors to the survivor.
+  for (const auto& [n, cost] : a.out) {
+    if (n == survivor) {
+      // Edge absorbed->survivor becomes internal.
+      s.in.erase(absorbed);
+      continue;
+    }
+    QNode& nb = nodes_[n];
+    const auto it = nb.in.find(survivor);
+    tx.neighborInOfSurvivor.emplace_back(
+        n, it == nb.in.end() ? std::nullopt
+                             : std::optional<double>(it->second));
+    nb.in.erase(absorbed);
+    nb.in[survivor] += cost;
+    s.out[n] += cost;
+  }
+  for (const auto& [n, cost] : a.in) {
+    if (n == survivor) {
+      s.out.erase(absorbed);
+      continue;
+    }
+    QNode& nb = nodes_[n];
+    const auto it = nb.out.find(survivor);
+    tx.neighborOutOfSurvivor.emplace_back(
+        n, it == nb.out.end() ? std::nullopt
+                              : std::optional<double>(it->second));
+    nb.out.erase(absorbed);
+    nb.out[survivor] += cost;
+    s.in[n] += cost;
+  }
+  s.work += a.work;
+  s.members.insert(s.members.end(), a.members.begin(), a.members.end());
+  s.memReq = 0.0;  // caller recomputes via the memory oracle
+  a.alive = false;
+  --numAlive_;
+  return tx;
+}
+
+void QuotientGraph::rollback(MergeTransaction&& tx) {
+  QNode& s = nodes_[tx.survivor];
+  QNode& a = nodes_[tx.absorbed];
+  assert(!a.alive);
+  // Restore neighbors: entries for the absorbed node come back from its own
+  // untouched adjacency; entries for the survivor revert to their captured
+  // values (or disappear).
+  for (const auto& [n, cost] : a.out) {
+    if (n == tx.survivor) continue;
+    nodes_[n].in[tx.absorbed] = cost;
+  }
+  for (const auto& [n, cost] : a.in) {
+    if (n == tx.survivor) continue;
+    nodes_[n].out[tx.absorbed] = cost;
+  }
+  for (const auto& [n, prev] : tx.neighborInOfSurvivor) {
+    if (prev) {
+      nodes_[n].in[tx.survivor] = *prev;
+    } else {
+      nodes_[n].in.erase(tx.survivor);
+    }
+  }
+  for (const auto& [n, prev] : tx.neighborOutOfSurvivor) {
+    if (prev) {
+      nodes_[n].out[tx.survivor] = *prev;
+    } else {
+      nodes_[n].out.erase(tx.survivor);
+    }
+  }
+  s = std::move(tx.survivorBefore);
+  a.alive = true;
+  ++numAlive_;
+}
+
+std::optional<std::vector<BlockId>> QuotientGraph::topologicalOrder() const {
+  std::vector<std::uint32_t> indeg(nodes_.size(), 0);
+  std::vector<BlockId> ready;
+  std::size_t aliveCount = 0;
+  for (BlockId b = 0; b < nodes_.size(); ++b) {
+    if (!nodes_[b].alive) continue;
+    ++aliveCount;
+    indeg[b] = static_cast<std::uint32_t>(nodes_[b].in.size());
+    if (indeg[b] == 0) ready.push_back(b);
+  }
+  std::vector<BlockId> order;
+  order.reserve(aliveCount);
+  while (!ready.empty()) {
+    const BlockId b = ready.back();
+    ready.pop_back();
+    order.push_back(b);
+    for (const auto& [n, cost] : nodes_[b].out) {
+      if (--indeg[n] == 0) ready.push_back(n);
+    }
+  }
+  if (order.size() != aliveCount) return std::nullopt;
+  return order;
+}
+
+bool QuotientGraph::isAcyclic() const { return topologicalOrder().has_value(); }
+
+std::optional<BlockId> QuotientGraph::twoCyclePartner(BlockId b) const {
+  const QNode& node = nodes_[b];
+  for (const auto& [n, cost] : node.out) {
+    if (node.in.count(n) > 0) return n;
+  }
+  return std::nullopt;
+}
+
+MakespanResult computeMakespan(const QuotientGraph& q,
+                               const platform::Cluster& cluster) {
+  MakespanResult result;
+  const auto order = q.topologicalOrder();
+  if (!order) return result;  // acyclic=false: makespan undefined
+  result.acyclic = true;
+  result.bottomWeight.assign(q.numSlots(), 0.0);
+  const double beta = cluster.bandwidth();
+
+  auto speedOf = [&](BlockId b) {
+    const platform::ProcessorId p = q.node(b).proc;
+    return p == platform::kNoProcessor ? 1.0 : cluster.speed(p);
+  };
+
+  // Bottom weights in reverse topological order (Eq. (1)).
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const BlockId b = *it;
+    const QNode& node = q.node(b);
+    double best = 0.0;
+    for (const auto& [child, cost] : node.out) {
+      best = std::max(best, cost / beta + result.bottomWeight[child]);
+    }
+    result.bottomWeight[b] = node.work / speedOf(b) + best;
+  }
+
+  // Makespan = max bottom weight (Eq. (2)); critical path follows the
+  // maximizing children from the defining node.
+  BlockId top = kNoBlock;
+  for (const BlockId b : *order) {
+    if (top == kNoBlock || result.bottomWeight[b] > result.makespan) {
+      result.makespan = result.bottomWeight[b];
+      top = b;
+    }
+  }
+  if (top != kNoBlock) {
+    BlockId cur = top;
+    while (true) {
+      result.criticalPath.push_back(cur);
+      const QNode& node = q.node(cur);
+      BlockId next = kNoBlock;
+      double bestTail = -1.0;
+      for (const auto& [child, cost] : node.out) {
+        const double tail = cost / beta + result.bottomWeight[child];
+        if (tail > bestTail) {
+          bestTail = tail;
+          next = child;
+        }
+      }
+      const double expected =
+          result.bottomWeight[cur] - node.work / speedOf(cur);
+      if (next == kNoBlock || bestTail + 1e-12 < expected) break;
+      cur = next;
+    }
+  }
+  return result;
+}
+
+std::optional<double> makespanValue(const QuotientGraph& q,
+                                    const platform::Cluster& cluster) {
+  const auto order = q.topologicalOrder();
+  if (!order) return std::nullopt;
+  const double beta = cluster.bandwidth();
+  std::vector<double> bottom(q.numSlots(), 0.0);
+  double makespan = 0.0;
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const BlockId b = *it;
+    const QNode& node = q.node(b);
+    double best = 0.0;
+    for (const auto& [child, cost] : node.out) {
+      best = std::max(best, cost / beta + bottom[child]);
+    }
+    const platform::ProcessorId p = node.proc;
+    const double speed = p == platform::kNoProcessor ? 1.0 : cluster.speed(p);
+    bottom[b] = node.work / speed + best;
+    makespan = std::max(makespan, bottom[b]);
+  }
+  return makespan;
+}
+
+}  // namespace dagpm::quotient

@@ -1,0 +1,105 @@
+#pragma once
+// Quotient graph over a partition of the workflow (paper Sec. 3.3, Fig. 1).
+//
+// Each alive node is a block: its work weight is the sum of task works, its
+// edges to other blocks carry the summed communication volume, and it may be
+// assigned to a processor. Step 3 of DagHetPart tentatively merges nodes and
+// rolls the merge back when it creates a cycle or degrades the makespan; the
+// merge therefore returns a transaction capturing all mutated state.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "platform/cluster.hpp"
+
+namespace dagpm::quotient {
+
+using BlockId = std::uint32_t;
+inline constexpr BlockId kNoBlock = 0xffffffffu;
+
+struct QNode {
+  bool alive = false;
+  double work = 0.0;                      // sum of member task works
+  double memReq = 0.0;                    // cached r_V (set by the scheduler)
+  platform::ProcessorId proc = platform::kNoProcessor;
+  int reinsertCount = 0;                  // Step 3's nu.c counter
+  std::vector<graph::VertexId> members;   // workflow tasks in this block
+  std::map<BlockId, double> out;          // successor block -> summed cost
+  std::map<BlockId, double> in;           // predecessor block -> summed cost
+};
+
+/// Rollback data for one tentative merge.
+struct MergeTransaction {
+  BlockId survivor = kNoBlock;
+  BlockId absorbed = kNoBlock;
+  QNode survivorBefore;  // full copy (maps are small: one entry per neighbor)
+  // Neighbors' adjacency entries pointing at the survivor before the merge
+  // (absent = no entry). Entries pointing at the absorbed node are restored
+  // from its untouched QNode.
+  std::vector<std::pair<BlockId, std::optional<double>>> neighborInOfSurvivor;
+  std::vector<std::pair<BlockId, std::optional<double>>> neighborOutOfSurvivor;
+};
+
+class QuotientGraph {
+ public:
+  /// Builds the quotient of `g` under `blockOf` (labels in [0, numBlocks)).
+  QuotientGraph(const graph::Dag& g, const std::vector<std::uint32_t>& blockOf,
+                std::uint32_t numBlocks);
+
+  [[nodiscard]] const graph::Dag& workflow() const noexcept { return *g_; }
+  [[nodiscard]] std::size_t numSlots() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const QNode& node(BlockId b) const noexcept {
+    return nodes_[b];
+  }
+  [[nodiscard]] std::vector<BlockId> aliveNodes() const;
+  [[nodiscard]] std::size_t numAlive() const noexcept { return numAlive_; }
+
+  void setProcessor(BlockId b, platform::ProcessorId p) {
+    nodes_[b].proc = p;
+  }
+  void setMemReq(BlockId b, double r) { nodes_[b].memReq = r; }
+  void bumpReinsertCount(BlockId b) { ++nodes_[b].reinsertCount; }
+
+  /// Merges `absorbed` into `survivor` (both alive, distinct). The survivor
+  /// keeps its processor assignment; its memReq is invalidated to 0 (the
+  /// caller recomputes it via the oracle). Returns the rollback transaction.
+  MergeTransaction merge(BlockId survivor, BlockId absorbed);
+
+  /// Undoes a merge; transactions must be rolled back in LIFO order.
+  void rollback(MergeTransaction&& tx);
+
+  /// True iff the alive-node graph is acyclic.
+  [[nodiscard]] bool isAcyclic() const;
+
+  /// A node x forming a 2-cycle with b (edges b->x and x->b), if any.
+  [[nodiscard]] std::optional<BlockId> twoCyclePartner(BlockId b) const;
+
+  /// Kahn order of alive nodes; std::nullopt if cyclic.
+  [[nodiscard]] std::optional<std::vector<BlockId>> topologicalOrder() const;
+
+ private:
+  const graph::Dag* g_;
+  std::vector<QNode> nodes_;
+  std::size_t numAlive_ = 0;
+};
+
+/// Bottom weights / makespan (paper Eq. (1)-(2)). Unassigned blocks compute
+/// with speed 1 -> the *estimated* makespan used during Step 3.
+struct MakespanResult {
+  bool acyclic = false;
+  double makespan = 0.0;
+  std::vector<double> bottomWeight;    // indexed by block id (slots)
+  std::vector<BlockId> criticalPath;   // from the makespan-defining node down
+};
+
+MakespanResult computeMakespan(const QuotientGraph& q,
+                               const platform::Cluster& cluster);
+
+/// Makespan only (no critical path extraction); slightly cheaper.
+std::optional<double> makespanValue(const QuotientGraph& q,
+                                    const platform::Cluster& cluster);
+
+}  // namespace dagpm::quotient

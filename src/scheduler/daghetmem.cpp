@@ -1,0 +1,92 @@
+#include "scheduler/daghetmem.hpp"
+
+#include "memory/simulate.hpp"
+#include "quotient/quotient.hpp"
+#include "support/timer.hpp"
+
+namespace dagpm::scheduler {
+
+using graph::VertexId;
+
+ScheduleResult dagHetMem(const graph::Dag& g, const platform::Cluster& cluster,
+                         const DagHetMemConfig& cfg) {
+  const support::Timer timer;
+  ScheduleResult result;
+  result.blockOf.assign(g.numVertices(), 0);
+  if (g.numVertices() == 0 || cluster.numProcessors() == 0) return result;
+
+  const memory::MemDagOracle oracle(g, cfg.oracle);
+  std::vector<VertexId> all(g.numVertices());
+  for (VertexId v = 0; v < g.numVertices(); ++v) all[v] = v;
+  const memory::TraversalResult traversal = oracle.bestTraversal(all);
+
+  const std::vector<platform::ProcessorId> procs =
+      cluster.byDecreasingMemory();
+
+  // Whole workflow fits the largest memory: a single block is valid (and the
+  // baseline does not try to exploit any parallelism).
+  if (traversal.peak <= cluster.memory(procs[0])) {
+    result.feasible = true;
+    result.procOfBlock = {procs[0]};
+    result.stats.numBlocks = 1;
+    double makespan = 0.0;
+    for (VertexId v = 0; v < g.numVertices(); ++v) makespan += g.work(v);
+    result.makespan = makespan / cluster.speed(procs[0]);
+    result.stats.seconds = timer.seconds();
+    return result;
+  }
+
+  // Stream the traversal into blocks; each block targets the next processor
+  // in decreasing-memory order.
+  memory::IncrementalBlockMemory stream(g);
+  std::size_t procIndex = 0;
+  stream.beginBlock();
+  std::uint32_t currentBlock = 0;
+  result.procOfBlock.clear();
+
+  for (const VertexId u : traversal.order) {
+    while (true) {
+      if (procIndex >= procs.size()) {
+        // Tasks remain but no processors are left: no valid mapping.
+        result.feasible = false;
+        result.stats.seconds = timer.seconds();
+        return result;
+      }
+      const double cap = cluster.memory(procs[procIndex]);
+      if (stream.peakIfAdded(u) <= cap) {
+        stream.add(u);
+        result.blockOf[u] = currentBlock;
+        break;
+      }
+      if (stream.blockSize() == 0) {
+        // Even alone the task exceeds this processor; all later processors
+        // are no larger (sorted), so the platform cannot run the workflow.
+        result.feasible = false;
+        result.stats.seconds = timer.seconds();
+        return result;
+      }
+      // Close the current block on its processor and retry u on the next.
+      result.procOfBlock.push_back(procs[procIndex]);
+      ++procIndex;
+      ++currentBlock;
+      stream.beginBlock();
+    }
+  }
+  result.procOfBlock.push_back(procs[procIndex]);
+
+  const auto numBlocks = static_cast<std::uint32_t>(result.procOfBlock.size());
+  quotient::QuotientGraph q(g, result.blockOf, numBlocks);
+  for (std::uint32_t b = 0; b < numBlocks; ++b) {
+    q.setProcessor(b, result.procOfBlock[b]);
+  }
+  // Blocks are contiguous segments of one topological order, so the quotient
+  // is acyclic by construction.
+  const auto makespan = quotient::makespanValue(q, cluster);
+  result.feasible = makespan.has_value();
+  result.makespan = makespan.value_or(0.0);
+  result.stats.numBlocks = numBlocks;
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace dagpm::scheduler

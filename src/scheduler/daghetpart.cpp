@@ -1,0 +1,188 @@
+#include "scheduler/daghetpart.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "quotient/quotient.hpp"
+#include "scheduler/assignment.hpp"
+#include "scheduler/daghetmem.hpp"
+#include "scheduler/merge_step.hpp"
+#include "scheduler/swap_step.hpp"
+#include "support/timer.hpp"
+
+namespace dagpm::scheduler {
+
+using graph::VertexId;
+using quotient::BlockId;
+
+std::vector<std::uint32_t> sweepCandidates(KPrimeSweep sweep,
+                                           std::uint32_t k) {
+  std::vector<std::uint32_t> candidates;
+  switch (sweep) {
+    case KPrimeSweep::kFull:
+      for (std::uint32_t kp = 1; kp <= k; ++kp) candidates.push_back(kp);
+      break;
+    case KPrimeSweep::kDoubling:
+      for (std::uint32_t kp = 1; kp < k; kp *= 2) candidates.push_back(kp);
+      candidates.push_back(k);
+      break;
+    case KPrimeSweep::kSingle:
+      candidates.push_back(k);
+      break;
+  }
+  return candidates;
+}
+
+ScheduleResult dagHetPartSingle(const graph::Dag& g,
+                                const platform::Cluster& cluster,
+                                std::uint32_t kPrime,
+                                const DagHetPartConfig& cfg) {
+  const support::Timer timer;
+  ScheduleResult result;
+  result.stats.kPrime = kPrime;
+  if (g.numVertices() == 0 || cluster.numProcessors() == 0) return result;
+
+  const memory::MemDagOracle oracle(g, cfg.oracle);
+
+  // --- Step 1: heterogeneity-oblivious acyclic partition into k' blocks.
+  partition::PartitionConfig pcfg;
+  pcfg.numParts = kPrime;
+  pcfg.epsilon = cfg.step1Epsilon;
+  pcfg.seed = cfg.seed;
+  pcfg.balance = cfg.step1Balance;
+  const partition::PartitionResult initial = partition::partitionAcyclic(g, pcfg);
+
+  std::vector<std::vector<VertexId>> blocks(initial.numBlocks);
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    blocks[initial.blockOf[v]].push_back(v);
+  }
+
+  // --- Step 2: memory-aware assignment (splits oversized blocks).
+  AssignmentConfig acfg;
+  acfg.seed = cfg.seed;
+  AssignmentResult assignment =
+      biggestAssign(g, cluster, oracle, std::move(blocks), acfg);
+  result.stats.splitsPerformed = assignment.splitsPerformed;
+
+  // Build the quotient graph over the Step-2 blocks.
+  std::vector<std::uint32_t> blockOf(g.numVertices(), 0);
+  for (std::uint32_t b = 0; b < assignment.blocks.size(); ++b) {
+    for (const VertexId v : assignment.blocks[b].vertices) blockOf[v] = b;
+  }
+  quotient::QuotientGraph q(
+      g, blockOf, static_cast<std::uint32_t>(assignment.blocks.size()));
+  for (std::uint32_t b = 0; b < assignment.blocks.size(); ++b) {
+    q.setProcessor(b, assignment.blocks[b].proc);
+    q.setMemReq(b, assignment.blocks[b].memReq);
+  }
+
+  // --- Step 3: merge unassigned blocks into assigned ones.
+  MergeStepConfig mcfg;
+  mcfg.preferOffCriticalPath = cfg.preferOffCriticalPath;
+  mcfg.anyHostFallback = cfg.anyHostFallback;
+  const MergeStepResult merge =
+      mergeUnassignedToAssigned(q, cluster, oracle, mcfg);
+  result.stats.mergesCommitted = merge.mergesCommitted;
+  if (!merge.success) {
+    result.stats.seconds = timer.seconds();
+    return result;  // infeasible for this k'
+  }
+
+  // --- Step 4: swaps + idle-processor moves.
+  SwapStepConfig scfg;
+  scfg.enableSwaps = cfg.enableSwaps;
+  scfg.enableIdleMoves = cfg.enableIdleMoves;
+  const SwapStepResult swaps = improveBySwaps(q, cluster, scfg);
+  result.stats.swapsCommitted = swaps.swapsCommitted;
+  result.stats.idleMovesCommitted = swaps.idleMovesCommitted;
+
+  // Extract the final solution with compact block ids.
+  const std::vector<BlockId> alive = q.aliveNodes();
+  result.procOfBlock.resize(alive.size());
+  result.blockOf.assign(g.numVertices(), 0);
+  for (std::uint32_t compact = 0; compact < alive.size(); ++compact) {
+    const quotient::QNode& node = q.node(alive[compact]);
+    assert(node.proc != platform::kNoProcessor);
+    result.procOfBlock[compact] = node.proc;
+    for (const VertexId v : node.members) result.blockOf[v] = compact;
+  }
+  result.makespan = swaps.makespan;
+  result.feasible = true;
+  result.stats.numBlocks = static_cast<std::uint32_t>(alive.size());
+  result.stats.seconds = timer.seconds();
+  return result;
+}
+
+namespace {
+
+ScheduleResult runSweep(const graph::Dag& g, const platform::Cluster& cluster,
+                        const DagHetPartConfig& cfg) {
+  const std::vector<std::uint32_t> candidates = sweepCandidates(
+      cfg.sweep, static_cast<std::uint32_t>(cluster.numProcessors()));
+  std::vector<ScheduleResult> results(candidates.size());
+
+#ifdef _OPENMP
+  if (cfg.parallelSweep && candidates.size() > 1) {
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      results[i] = dagHetPartSingle(g, cluster, candidates[i], cfg);
+    }
+  } else {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      results[i] = dagHetPartSingle(g, cluster, candidates[i], cfg);
+    }
+  }
+#else
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    results[i] = dagHetPartSingle(g, cluster, candidates[i], cfg);
+  }
+#endif
+
+  ScheduleResult best;
+  for (ScheduleResult& r : results) {
+    if (!r.feasible) continue;
+    if (!best.feasible || r.makespan < best.makespan) best = std::move(r);
+  }
+  return best;
+}
+
+}  // namespace
+
+ScheduleResult dagHetPart(const graph::Dag& g, const platform::Cluster& cluster,
+                          const DagHetPartConfig& cfg) {
+  const support::Timer timer;
+  ScheduleResult best = runSweep(g, cluster, cfg);
+  if (!best.feasible && cfg.memoryBalanceFallback &&
+      cfg.step1Balance == partition::PartitionConfig::BalanceWeight::kWork) {
+    // Work-balanced Step-1 blocks can split into memory-heavy singletons
+    // that no remaining processor holds; memory-balanced blocks avoid that.
+    DagHetPartConfig fallback = cfg;
+    fallback.step1Balance =
+        partition::PartitionConfig::BalanceWeight::kMemoryFootprint;
+    best = runSweep(g, cluster, fallback);
+  }
+  best.stats.seconds = timer.seconds();  // total time incl. the whole sweep
+  return best;
+}
+
+ScheduleResult scheduleBest(const graph::Dag& g,
+                            const platform::Cluster& cluster,
+                            const DagHetPartConfig& cfg) {
+  const support::Timer timer;
+  ScheduleResult part = dagHetPart(g, cluster, cfg);
+  DagHetMemConfig memCfg;
+  memCfg.oracle = cfg.oracle;
+  ScheduleResult mem = dagHetMem(g, cluster, memCfg);
+  ScheduleResult& winner =
+      !part.feasible ? mem
+      : (!mem.feasible || part.makespan <= mem.makespan) ? part
+                                                         : mem;
+  winner.stats.seconds = timer.seconds();
+  return winner;
+}
+
+}  // namespace dagpm::scheduler

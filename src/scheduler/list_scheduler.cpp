@@ -1,0 +1,145 @@
+#include "scheduler/list_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "graph/topology.hpp"
+
+namespace dagpm::scheduler {
+
+using graph::EdgeId;
+using graph::VertexId;
+using platform::ProcessorId;
+
+ListScheduleResult heftSchedule(const graph::Dag& g,
+                                const platform::Cluster& cluster) {
+  ListScheduleResult result;
+  const std::size_t n = g.numVertices();
+  result.procOfTask.assign(n, platform::kNoProcessor);
+  if (n == 0 || cluster.numProcessors() == 0) return result;
+
+  // Average execution speed for the rank computation.
+  double avgSpeed = 0.0;
+  for (ProcessorId p = 0; p < cluster.numProcessors(); ++p) {
+    avgSpeed += cluster.speed(p);
+  }
+  avgSpeed /= static_cast<double>(cluster.numProcessors());
+  const double beta = cluster.bandwidth();
+
+  // Upward ranks: rank(v) = w_v/avgSpeed + max over children
+  // (c/beta + rank(child)). Communication is charged at the average (the
+  // classic HEFT recipe halves it for same-processor pairs at placement
+  // time; the rank only needs a consistent priority order).
+  const auto order = graph::topologicalOrder(g);
+  assert(order.has_value() && "HEFT requires an acyclic workflow");
+  std::vector<double> rank(n, 0.0);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const VertexId v = *it;
+    double best = 0.0;
+    for (const EdgeId e : g.outEdges(v)) {
+      best = std::max(best, g.edge(e).cost / beta + rank[g.edge(e).dst]);
+    }
+    rank[v] = g.work(v) / avgSpeed + best;
+  }
+
+  std::vector<VertexId> priority(order->begin(), order->end());
+  std::sort(priority.begin(), priority.end(), [&](VertexId a, VertexId b) {
+    if (rank[a] != rank[b]) return rank[a] > rank[b];
+    return a < b;
+  });
+  // Descending rank order is a valid topological order (rank strictly
+  // decreases along edges), so every task's parents are placed first.
+
+  struct Slot {
+    double start, finish;
+  };
+  std::vector<std::vector<Slot>> busy(cluster.numProcessors());
+  std::vector<double> taskFinish(n, 0.0);
+  result.entries.resize(n);
+
+#ifndef NDEBUG
+  std::vector<bool> placed(n, false);
+#endif
+  for (const VertexId v : priority) {
+#ifndef NDEBUG
+    for (const EdgeId e : g.inEdges(v)) {
+      assert(placed[g.edge(e).src] &&
+             "rank order violated precedence (zero-work task?)");
+    }
+    placed[v] = true;
+#endif
+    double bestFinish = std::numeric_limits<double>::infinity();
+    ProcessorId bestProc = 0;
+    double bestStart = 0.0;
+    for (ProcessorId p = 0; p < cluster.numProcessors(); ++p) {
+      // Data-ready time on p: communication is free within a processor.
+      double ready = 0.0;
+      for (const EdgeId e : g.inEdges(v)) {
+        const VertexId u = g.edge(e).src;
+        const double comm =
+            result.procOfTask[u] == p ? 0.0 : g.edge(e).cost / beta;
+        ready = std::max(ready, taskFinish[u] + comm);
+      }
+      const double duration = g.work(v) / cluster.speed(p);
+      // Insertion policy: earliest idle gap on p that fits `duration`
+      // starting no earlier than `ready` (busy is kept start-sorted).
+      double start = ready;
+      for (const Slot& slot : busy[p]) {
+        if (start + duration <= slot.start) break;  // fits before this slot
+        start = std::max(start, slot.finish);
+      }
+      const double finish = start + duration;
+      if (finish < bestFinish) {
+        bestFinish = finish;
+        bestProc = p;
+        bestStart = start;
+      }
+    }
+    result.procOfTask[v] = bestProc;
+    taskFinish[v] = bestFinish;
+    result.entries[v] =
+        ListScheduleEntry{v, bestProc, bestStart, bestFinish};
+    auto& slots = busy[bestProc];
+    const Slot inserted{bestStart, bestFinish};
+    slots.insert(std::upper_bound(slots.begin(), slots.end(), inserted,
+                                  [](const Slot& a, const Slot& b) {
+                                    return a.start < b.start;
+                                  }),
+                 inserted);
+    result.makespan = std::max(result.makespan, bestFinish);
+  }
+
+  std::vector<bool> used(cluster.numProcessors(), false);
+  for (const ProcessorId p : result.procOfTask) used[p] = true;
+  for (ProcessorId p = 0; p < cluster.numProcessors(); ++p) {
+    result.processorsUsed += used[p];
+  }
+  return result;
+}
+
+MemoryDiagnosis diagnoseMemory(
+    const graph::Dag& g, const platform::Cluster& cluster,
+    const memory::MemDagOracle& oracle,
+    const std::vector<ProcessorId>& procOfTask) {
+  MemoryDiagnosis diagnosis;
+  std::vector<std::vector<VertexId>> tasksOf(cluster.numProcessors());
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    assert(procOfTask[v] < cluster.numProcessors());
+    tasksOf[procOfTask[v]].push_back(v);
+  }
+  for (ProcessorId p = 0; p < cluster.numProcessors(); ++p) {
+    if (tasksOf[p].empty()) continue;
+    ++diagnosis.processorsUsed;
+    const double peak = oracle.blockRequirement(tasksOf[p]);
+    const double overshoot = peak - cluster.memory(p);
+    if (overshoot > 1e-9) {
+      ++diagnosis.processorsOverCapacity;
+      diagnosis.worstOvershoot =
+          std::max(diagnosis.worstOvershoot, overshoot);
+    }
+  }
+  return diagnosis;
+}
+
+}  // namespace dagpm::scheduler

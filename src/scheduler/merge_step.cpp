@@ -1,0 +1,238 @@
+#include "scheduler/merge_step.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <map>
+#include <set>
+
+namespace dagpm::scheduler {
+
+using quotient::BlockId;
+using quotient::kNoBlock;
+
+namespace {
+
+/// Outcome of probing one merge candidate.
+struct CandidateOutcome {
+  double makespan = std::numeric_limits<double>::infinity();
+  BlockId target = kNoBlock;  // assigned node to merge into
+  BlockId third = kNoBlock;   // optional third node (2-cycle repair)
+  double mergedMemReq = 0.0;
+};
+
+/// FindMSOptMerge (Algorithm 3): finds the best feasible merge of `nu` into
+/// an assigned neighbor from `allowed`. All merges are tentative; the
+/// quotient is restored before returning.
+CandidateOutcome findMsOptMerge(quotient::QuotientGraph& q,
+                                const platform::Cluster& cluster,
+                                const memory::MemDagOracle& oracle,
+                                BlockId nu, const std::set<BlockId>& allowed,
+                                bool neighborsOnly, int maxProbes = -1,
+                                bool firstFeasibleWins = false) {
+  CandidateOutcome best;
+  // Candidate hosts: parents and children of nu that are in `allowed`
+  // (paper Algorithm 3). The any-host fallback widens this to every allowed
+  // node -- merges with non-neighbors are legal as long as the quotient
+  // stays acyclic and the combined traversal fits the host's memory.
+  std::vector<BlockId> candidates;
+  if (neighborsOnly) {
+    for (const auto& [p, cost] : q.node(nu).in) {
+      if (allowed.count(p) > 0) candidates.push_back(p);
+    }
+    for (const auto& [c, cost] : q.node(nu).out) {
+      if (allowed.count(c) > 0 && q.node(nu).in.count(c) == 0) {
+        candidates.push_back(c);
+      }
+    }
+  } else {
+    // Rescue mode: probing every host with a full oracle evaluation is
+    // expensive on large workflows, so try the hosts with the largest
+    // memory slack first and bound the number of probes.
+    candidates.assign(allowed.begin(), allowed.end());
+    std::sort(candidates.begin(), candidates.end(),
+              [&](BlockId a, BlockId b) {
+                const double slackA =
+                    cluster.memory(q.node(a).proc) - q.node(a).memReq;
+                const double slackB =
+                    cluster.memory(q.node(b).proc) - q.node(b).memReq;
+                if (slackA != slackB) return slackA > slackB;
+                return a < b;
+              });
+  }
+  if (maxProbes >= 0 &&
+      candidates.size() > static_cast<std::size_t>(maxProbes)) {
+    candidates.resize(static_cast<std::size_t>(maxProbes));
+  }
+
+  for (const BlockId host : candidates) {
+    // Tentatively absorb nu into the host (the host keeps its processor).
+    quotient::MergeTransaction tx1 = q.merge(host, nu);
+    std::optional<quotient::MergeTransaction> tx2;
+    BlockId third = kNoBlock;
+    bool viable = true;
+    if (!q.isAcyclic()) {
+      // A 2-cycle can be repaired by absorbing the partner (paper Fig. 2);
+      // anything longer discards the candidate.
+      const auto partner = q.twoCyclePartner(host);
+      if (partner) {
+        tx2 = q.merge(host, *partner);
+        if (q.isAcyclic()) {
+          third = *partner;
+        } else {
+          viable = false;
+        }
+      } else {
+        viable = false;
+      }
+    }
+    bool done = false;
+    if (viable) {
+      const double memReq = oracle.blockRequirement(q.node(host).members);
+      if (memReq <= cluster.memory(q.node(host).proc)) {
+        const auto makespan = quotient::makespanValue(q, cluster);
+        assert(makespan.has_value());
+        if (*makespan <= best.makespan) {
+          best.makespan = *makespan;
+          best.target = host;
+          best.third = third;
+          best.mergedMemReq = memReq;
+        }
+        done = firstFeasibleWins;  // rescue mode: any feasible merge will do
+      }
+    }
+    if (tx2) q.rollback(std::move(*tx2));
+    q.rollback(std::move(tx1));
+    if (done) break;
+  }
+  return best;
+}
+
+}  // namespace
+
+MergeStepResult mergeUnassignedToAssigned(quotient::QuotientGraph& q,
+                                          const platform::Cluster& cluster,
+                                          const memory::MemDagOracle& oracle,
+                                          const MergeStepConfig& cfg) {
+  MergeStepResult result;
+
+  std::set<BlockId> assigned;
+  std::deque<BlockId> unassigned;
+  {
+    // Process unassigned nodes in topological order of the quotient. The
+    // paper iterates over U in an unspecified order; topological order is
+    // the robust choice: when a node merges, its unassigned descendants are
+    // still separate blocks, so the merge cannot close a cycle through
+    // prematurely-placed downstream dust (a gather task whose consumers
+    // were merged first becomes permanently unmergeable otherwise).
+    const auto topo = q.topologicalOrder();
+    assert(topo.has_value() && "merge step requires an acyclic quotient");
+    for (const BlockId b : *topo) {
+      if (q.node(b).proc == platform::kNoProcessor) {
+        unassigned.push_back(b);
+      } else {
+        assigned.insert(b);
+      }
+    }
+  }
+  if (unassigned.empty()) {
+    result.success = true;
+    return result;
+  }
+  // Progress-based deferral bookkeeping: merge count at a node's last
+  // failed attempt (see below).
+  std::map<BlockId, std::uint32_t> mergesAtLastFailure;
+  int rescueProbesLeft = cfg.rescueProbeBudget;
+
+  while (!unassigned.empty()) {
+    const BlockId nu = unassigned.front();
+    unassigned.pop_front();
+    if (!q.node(nu).alive) continue;  // absorbed as a 2-cycle third node
+
+    // Critical path of the current estimated makespan.
+    const quotient::MakespanResult ms = computeMakespan(q, cluster);
+    assert(ms.acyclic);
+    std::set<BlockId> offPath = assigned;
+    if (cfg.preferOffCriticalPath) {
+      for (const BlockId b : ms.criticalPath) offPath.erase(b);
+    }
+
+    CandidateOutcome outcome =
+        findMsOptMerge(q, cluster, oracle, nu, offPath, /*neighborsOnly=*/true);
+    if (outcome.target == kNoBlock && cfg.preferOffCriticalPath) {
+      // No feasible merge off the critical path; allow merges anywhere.
+      outcome = findMsOptMerge(q, cluster, oracle, nu, assigned,
+                               /*neighborsOnly=*/true);
+    }
+    if (outcome.target == kNoBlock && cfg.anyHostFallback &&
+        rescueProbesLeft > 0) {
+      // Library extension (DESIGN.md): before declaring the instance
+      // infeasible, try merging nu into *any* assigned block with enough
+      // memory. This rescues "saturation" dead ends where all of nu's
+      // neighbors sit on full processors while other hosts have headroom;
+      // the resulting block is simply disconnected (the paper's own
+      // DagHetMem baseline produces disconnected blocks as well). Probes
+      // are slack-ordered, first-feasible-wins, and budgeted so rescue
+      // attempts cannot dominate the runtime of large instances.
+      const int probes = std::min(rescueProbesLeft, cfg.maxRescueProbes);
+      outcome = findMsOptMerge(q, cluster, oracle, nu, assigned,
+                               /*neighborsOnly=*/false, probes,
+                               /*firstFeasibleWins=*/true);
+      rescueProbesLeft -= probes;
+    }
+
+    if (outcome.target != kNoBlock) {
+      // Commit: the host absorbs nu (and the third node if the merge needed
+      // a 2-cycle repair). The host keeps its processor and id, so it stays
+      // in the candidate set A (the paper's A.remove(nu_min)/A.remove(nu_o)
+      // drops the pre-merge ids; the merged vertex remains assigned and must
+      // stay mergeable, otherwise deferred nodes could never find a host).
+      q.merge(outcome.target, nu);
+      if (outcome.third != kNoBlock) q.merge(outcome.target, outcome.third);
+      q.setMemReq(outcome.target, outcome.mergedMemReq);
+      if (outcome.third != kNoBlock) assigned.erase(outcome.third);
+      ++result.mergesCommitted;
+      continue;
+    }
+
+    // No feasible merge at all: defer if an unassigned neighbor might later
+    // become a viable host (paper rule, bounded by the reinsert counter).
+    const bool hasUnassignedNeighbor = [&] {
+      for (const auto& [p, cost] : q.node(nu).in) {
+        if (q.node(p).proc == platform::kNoProcessor) return true;
+      }
+      for (const auto& [c, cost] : q.node(nu).out) {
+        if (q.node(c).proc == platform::kNoProcessor) return true;
+      }
+      return false;
+    }();
+    if (hasUnassignedNeighbor &&
+        q.node(nu).reinsertCount < cfg.maxReinserts) {
+      q.bumpReinsertCount(nu);
+      unassigned.push_back(nu);
+      continue;
+    }
+    // Library extension: progress-based deferral. A merge that is infeasible
+    // now can become feasible after other merges reshape the hosts (e.g., a
+    // high-in-degree gather task fits only once most of its producers live
+    // in the host, turning its inputs internal). Retry as long as the last
+    // attempt is older than the newest committed merge; each retry consumes
+    // at least one new merge, so this terminates.
+    if (cfg.progressDeferral) {
+      const auto it = mergesAtLastFailure.find(nu);
+      if (it == mergesAtLastFailure.end() ||
+          it->second < result.mergesCommitted) {
+        mergesAtLastFailure[nu] = result.mergesCommitted;
+        unassigned.push_back(nu);
+        continue;
+      }
+    }
+    result.success = false;
+    return result;
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace dagpm::scheduler

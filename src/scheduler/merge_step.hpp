@@ -1,0 +1,55 @@
+#pragma once
+// Step 3 of DagHetPart: MergeUnassignedToAssigned + FindMSOptMerge
+// (paper Algorithms 3 and 4).
+//
+// Operating on the quotient DAG with its partial processor assignment, every
+// unassigned node is merged into an assigned neighbor: preferentially one
+// off the critical path (merges on the path tend to lengthen it), falling
+// back to any assigned neighbor. A tentative merge that creates a cycle of
+// length 2 is repaired by absorbing the third node (paper Fig. 2); longer
+// cycles discard the candidate. Among feasible candidates (merged memory
+// requirement within the host processor's memory), the one minimizing the
+// estimated makespan wins. Nodes whose neighbors are still unassigned may be
+// deferred up to two times; if a node can neither merge nor wait, the
+// instance is infeasible for this block count.
+
+#include <optional>
+
+#include "memory/oracle.hpp"
+#include "platform/cluster.hpp"
+#include "quotient/quotient.hpp"
+
+namespace dagpm::scheduler {
+
+struct MergeStepConfig {
+  bool preferOffCriticalPath = true;  // ablation: disable the A \ P pass
+  int maxReinserts = 2;               // paper: stop reinserting after 2 times
+  /// Library extension: when no neighbor merge is feasible, allow merging
+  /// into any assigned node (acyclicity- and memory-checked) before
+  /// failing. Rescues saturation dead ends; off = the paper's exact rule.
+  bool anyHostFallback = true;
+  /// Library extension: retry a stuck node as long as other merges are
+  /// still landing (a gather task often only fits a host once most of its
+  /// producers moved there). Terminates: every retry consumes >= 1 merge.
+  bool progressDeferral = true;
+  /// Rescue probing limits: at most maxRescueProbes oracle evaluations per
+  /// stuck node and rescueProbeBudget per merge-step invocation, so rescue
+  /// attempts stay a small fraction of the total runtime.
+  int maxRescueProbes = 12;
+  int rescueProbeBudget = 400;
+};
+
+struct MergeStepResult {
+  bool success = false;
+  std::uint32_t mergesCommitted = 0;
+};
+
+/// Mutates `q` until every alive node is assigned (success) or returns
+/// failure. On success the quotient is acyclic and all memory requirements
+/// of merged nodes are set (recomputed through the oracle).
+MergeStepResult mergeUnassignedToAssigned(quotient::QuotientGraph& q,
+                                          const platform::Cluster& cluster,
+                                          const memory::MemDagOracle& oracle,
+                                          const MergeStepConfig& cfg = {});
+
+}  // namespace dagpm::scheduler

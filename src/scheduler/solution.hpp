@@ -1,0 +1,55 @@
+#pragma once
+// Schedules (solutions of the DAGP-PM problem) and their validation.
+//
+// A solution is an acyclic k'-way partition of the workflow plus an injective
+// mapping of blocks to processors such that every block's traversal peak
+// memory fits its processor; its quality is the makespan of the quotient DAG.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "memory/oracle.hpp"
+#include "platform/cluster.hpp"
+
+namespace dagpm::scheduler {
+
+struct ScheduleStats {
+  double seconds = 0.0;        // wall-clock of the scheduling run
+  std::uint32_t kPrime = 0;    // number of blocks requested in Step 1
+  std::uint32_t numBlocks = 0; // blocks in the final solution
+  std::uint32_t mergesCommitted = 0;
+  std::uint32_t swapsCommitted = 0;
+  std::uint32_t idleMovesCommitted = 0;
+  std::uint32_t splitsPerformed = 0;
+};
+
+struct ScheduleResult {
+  bool feasible = false;
+  double makespan = 0.0;
+  std::vector<std::uint32_t> blockOf;  // task -> block, in [0, numBlocks)
+  std::vector<platform::ProcessorId> procOfBlock;  // block -> processor
+  ScheduleStats stats;
+
+  [[nodiscard]] std::uint32_t numBlocks() const noexcept {
+    return static_cast<std::uint32_t>(procOfBlock.size());
+  }
+};
+
+/// Outcome of validating a schedule against the problem constraints.
+struct ValidationReport {
+  bool valid = false;
+  std::string error;  // empty when valid
+};
+
+/// Checks all DAGP-PM constraints: complete task coverage, at most k blocks,
+/// pairwise-distinct processors, acyclic quotient, every block's memory
+/// requirement (per `oracle`) within its processor's memory, and the reported
+/// makespan matching a recomputation (relative tolerance 1e-9).
+ValidationReport validateSchedule(const graph::Dag& g,
+                                  const platform::Cluster& cluster,
+                                  const memory::MemDagOracle& oracle,
+                                  const ScheduleResult& schedule);
+
+}  // namespace dagpm::scheduler

@@ -1,0 +1,111 @@
+#include "scheduler/swap_step.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace dagpm::scheduler {
+
+using platform::ProcessorId;
+using quotient::BlockId;
+
+SwapStepResult improveBySwaps(quotient::QuotientGraph& q,
+                              const platform::Cluster& cluster,
+                              const SwapStepConfig& cfg) {
+  SwapStepResult result;
+  const auto current = quotient::makespanValue(q, cluster);
+  assert(current.has_value() && "swap step requires an acyclic quotient");
+  result.makespan = *current;
+
+  const std::vector<BlockId> nodes = q.aliveNodes();
+
+  if (cfg.enableSwaps) {
+    // Algorithm 5: repeatedly execute the best improving feasible swap.
+    for (std::uint32_t round = 0; round < cfg.maxSwapRounds; ++round) {
+      double bestMakespan = result.makespan;
+      BlockId bestA = quotient::kNoBlock;
+      BlockId bestB = quotient::kNoBlock;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+          const BlockId a = nodes[i];
+          const BlockId b = nodes[j];
+          const ProcessorId pa = q.node(a).proc;
+          const ProcessorId pb = q.node(b).proc;
+          if (pa == pb) continue;
+          if (cluster.speed(pa) == cluster.speed(pb)) continue;  // no effect
+          // Feasible iff each block fits the other's processor memory.
+          if (q.node(a).memReq > cluster.memory(pb) ||
+              q.node(b).memReq > cluster.memory(pa)) {
+            continue;
+          }
+          q.setProcessor(a, pb);
+          q.setProcessor(b, pa);
+          const auto makespan = quotient::makespanValue(q, cluster);
+          q.setProcessor(a, pa);
+          q.setProcessor(b, pb);
+          if (makespan && *makespan < bestMakespan - 1e-12) {
+            bestMakespan = *makespan;
+            bestA = a;
+            bestB = b;
+          }
+        }
+      }
+      if (bestA == quotient::kNoBlock) break;  // no improving swap exists
+      const ProcessorId pa = q.node(bestA).proc;
+      const ProcessorId pb = q.node(bestB).proc;
+      q.setProcessor(bestA, pb);
+      q.setProcessor(bestB, pa);
+      result.makespan = bestMakespan;
+      ++result.swapsCommitted;
+    }
+  }
+
+  if (cfg.enableIdleMoves) {
+    // Idle processors exist in particular when the partitioner produced
+    // fewer blocks than processors; move critical-path blocks to faster
+    // idle processors while that improves the makespan.
+    std::set<ProcessorId> idle;
+    for (ProcessorId p = 0; p < cluster.numProcessors(); ++p) idle.insert(p);
+    for (const BlockId b : nodes) idle.erase(q.node(b).proc);
+
+    std::set<BlockId> moved;
+    bool progress = true;
+    while (progress && !idle.empty()) {
+      progress = false;
+      const quotient::MakespanResult ms = computeMakespan(q, cluster);
+      for (const BlockId b : ms.criticalPath) {
+        if (moved.count(b) > 0) continue;
+        const ProcessorId from = q.node(b).proc;
+        // Fastest idle processor that holds the block and beats the current
+        // speed; ties resolved toward larger memory, then lower id.
+        ProcessorId best = platform::kNoProcessor;
+        for (const ProcessorId p : idle) {
+          if (cluster.speed(p) <= cluster.speed(from)) continue;
+          if (q.node(b).memReq > cluster.memory(p)) continue;
+          if (best == platform::kNoProcessor ||
+              cluster.speed(p) > cluster.speed(best) ||
+              (cluster.speed(p) == cluster.speed(best) &&
+               cluster.memory(p) > cluster.memory(best))) {
+            best = p;
+          }
+        }
+        if (best == platform::kNoProcessor) continue;
+        q.setProcessor(b, best);
+        const auto makespan = quotient::makespanValue(q, cluster);
+        if (makespan && *makespan < result.makespan - 1e-12) {
+          idle.erase(best);
+          idle.insert(from);
+          moved.insert(b);
+          result.makespan = *makespan;
+          ++result.idleMovesCommitted;
+          progress = true;
+          break;  // critical path changed; recompute it
+        }
+        q.setProcessor(b, from);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dagpm::scheduler

@@ -1,0 +1,33 @@
+#pragma once
+// Step 4 of DagHetPart: local search via block swaps (paper Algorithm 5)
+// plus the final idle-processor pass.
+//
+// Two blocks may swap processors when each fits in the other's memory; the
+// best improving swap is executed until none exists. Afterwards, if some
+// processors stayed idle, blocks on the critical path are moved to faster
+// idle processors that can hold them, as long as doing so improves the
+// makespan.
+
+#include "platform/cluster.hpp"
+#include "quotient/quotient.hpp"
+
+namespace dagpm::scheduler {
+
+struct SwapStepConfig {
+  bool enableSwaps = true;      // ablation toggles
+  bool enableIdleMoves = true;
+  std::uint32_t maxSwapRounds = 1000;  // safety bound; each round improves
+};
+
+struct SwapStepResult {
+  double makespan = 0.0;
+  std::uint32_t swapsCommitted = 0;
+  std::uint32_t idleMovesCommitted = 0;
+};
+
+/// Requires every alive node of `q` to be assigned and the quotient acyclic.
+SwapStepResult improveBySwaps(quotient::QuotientGraph& q,
+                              const platform::Cluster& cluster,
+                              const SwapStepConfig& cfg = {});
+
+}  // namespace dagpm::scheduler

@@ -1,0 +1,70 @@
+#include "support/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace dagpm::support {
+
+std::string csvEscape(const std::string& field) {
+  const bool needsQuoting =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needsQuoting) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+bool writeCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream os(path);
+  if (!os) return false;
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << csvEscape(row[i]);
+    }
+    os << '\n';
+  };
+  emit(header);
+  for (const auto& row : rows) emit(row);
+  return static_cast<bool>(os);
+}
+
+ResultCache::ResultCache(std::string path) : path_(std::move(path)) {
+  std::ifstream is(path_);
+  if (!is) return;
+  std::string line;
+  while (std::getline(is, line)) {
+    // Format: key<TAB>value. Keys never contain tabs by construction.
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    try {
+      entries_[line.substr(0, tab)] = std::stod(line.substr(tab + 1));
+    } catch (...) {
+      // Skip malformed lines (e.g., partial write from a killed bench).
+    }
+  }
+}
+
+std::optional<double> ResultCache::lookup(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultCache::store(const std::string& key, double value) {
+  entries_[key] = value;
+  std::ofstream os(path_, std::ios::app);
+  if (os) {
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << key << '\t' << value << '\n';
+    os << oss.str();
+  }
+}
+
+}  // namespace dagpm::support

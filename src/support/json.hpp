@@ -1,0 +1,81 @@
+#pragma once
+// Minimal JSON parser/writer (no external dependencies).
+//
+// Supports the full JSON value model (object, array, string, number, bool,
+// null) with a recursive-descent parser; enough for the WfCommons-style
+// workflow interchange in src/workflows/json_io.hpp. Not optimized for
+// huge documents; workflow files are megabytes at most.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dagpm::support {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit JsonValue(std::string s)
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit JsonValue(JsonArray a);
+  explicit JsonValue(JsonObject o);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool isNull() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool isBool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool isNumber() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool isString() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool isArray() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool isObject() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  [[nodiscard]] bool asBool() const { return bool_; }
+  [[nodiscard]] double asNumber() const { return number_; }
+  [[nodiscard]] const std::string& asString() const { return string_; }
+  [[nodiscard]] const JsonArray& asArray() const;
+  [[nodiscard]] const JsonObject& asObject() const;
+
+  /// Object member access; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// Convenience typed getters with fallbacks.
+  [[nodiscard]] double numberOr(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string stringOr(const std::string& key,
+                                     const std::string& fallback) const;
+
+  /// Serializes with 2-space indentation.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;   // shared: JsonValue stays copyable
+  std::shared_ptr<JsonObject> object_;
+};
+
+/// Parses a JSON document; std::nullopt on syntax errors (the error message
+/// can be retrieved via parseJsonWithError).
+std::optional<JsonValue> parseJson(const std::string& text);
+std::optional<JsonValue> parseJsonWithError(const std::string& text,
+                                            std::string* error);
+
+/// Escapes a string for embedding in JSON output.
+std::string jsonEscape(const std::string& s);
+
+}  // namespace dagpm::support

@@ -1,0 +1,32 @@
+#include "support/rng.hpp"
+
+namespace dagpm::support {
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return lo + static_cast<std::int64_t>(next());  // full range
+  // Rejection-free Lemire reduction would bias < 2^-32 here; the plain modulo
+  // bias is irrelevant for workload generation but we keep the multiply-shift
+  // trick for speed and determinism.
+  const __uint128_t wide = static_cast<__uint128_t>(next()) * span;
+  return lo + static_cast<std::int64_t>(static_cast<std::uint64_t>(wide >> 64));
+}
+
+double Rng::uniformReal() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniformReal(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniformReal();
+}
+
+std::uint64_t hashName(const char* s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*s));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace dagpm::support

@@ -1,0 +1,62 @@
+#pragma once
+// Deterministic pseudo-random number generation for the whole library.
+//
+// Everything that needs randomness (weight generation, coarsening visit order,
+// tie breaking) draws from a SplitMix64 stream seeded explicitly, so a given
+// (workflow, seed) pair always produces the same instance and the schedulers
+// are reproducible run-to-run. We avoid std::mt19937 + distributions because
+// their outputs are not guaranteed identical across standard library
+// implementations, which would make EXPERIMENTS.md numbers non-portable.
+
+#include <cstdint>
+#include <vector>
+
+namespace dagpm::support {
+
+/// SplitMix64: tiny, fast, passes BigCrush as a 64-bit mixer; fully portable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniformReal() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniformReal(double lo, double hi) noexcept;
+
+  /// True with probability p.
+  bool bernoulli(double p) noexcept { return uniformReal() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniformInt(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (e.g., one per parallel task).
+  Rng fork() noexcept { return Rng(next() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stable 64-bit hash of a string (FNV-1a); used to derive per-name seeds.
+std::uint64_t hashName(const char* s) noexcept;
+
+}  // namespace dagpm::support

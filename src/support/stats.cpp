@@ -1,0 +1,77 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dagpm::support {
+
+double geometricMean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double logSum = 0.0;
+  for (const double v : values) {
+    assert(v > 0.0 && "geometricMean requires positive values");
+    logSum += std::log(v);
+  }
+  return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (const double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (const double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+double minOf(std::span<const double> values) {
+  assert(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double maxOf(std::span<const double> values) {
+  assert(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+void Accumulator::add(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  sum_ += v;
+  if (v > 0.0) {
+    logSum_ += std::log(v);
+  } else {
+    anyNonPositive_ = true;
+  }
+}
+
+double Accumulator::mean() const noexcept {
+  return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_);
+}
+
+double Accumulator::geomean() const noexcept {
+  if (n_ == 0 || anyNonPositive_) return 0.0;
+  return std::exp(logSum_ / static_cast<double>(n_));
+}
+
+}  // namespace dagpm::support

@@ -1,0 +1,47 @@
+#pragma once
+// Small statistics helpers used by the experiment harness
+// (the paper aggregates relative makespans with geometric means).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dagpm::support {
+
+/// Geometric mean of strictly positive values; returns 0 for an empty span.
+double geometricMean(std::span<const double> values);
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Population standard deviation; returns 0 for fewer than 2 values.
+double stddev(std::span<const double> values);
+
+/// Median (averages the two middle elements for even sizes).
+double median(std::vector<double> values);
+
+/// Minimum / maximum; undefined for empty spans (asserts in debug).
+double minOf(std::span<const double> values);
+double maxOf(std::span<const double> values);
+
+/// Incremental accumulator for streaming statistics.
+class Accumulator {
+ public:
+  void add(double v);
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double geomean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double logSum_ = 0.0;
+  bool anyNonPositive_ = false;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dagpm::support

@@ -1,0 +1,38 @@
+#pragma once
+// Plain-text table rendering for the bench binaries. Every bench prints the
+// same rows/series the paper's table or figure reports, so the output has to
+// be readable in a terminal: fixed-width columns, right-aligned numbers.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dagpm::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Formats a ratio as a percentage string, e.g. 0.41 -> "41.0%".
+  static std::string percent(double ratio, int precision = 1);
+
+  /// Render with column alignment. First column left-aligned, rest right.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string toString() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a boxed section title, used to separate bench artifacts.
+void printHeading(std::ostream& os, const std::string& title);
+
+}  // namespace dagpm::support

@@ -1,0 +1,249 @@
+#include "workflows/families.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/rng.hpp"
+
+namespace dagpm::workflows {
+
+using graph::Dag;
+using graph::VertexId;
+
+namespace {
+
+/// Uniform integer weights per Sec. 5.1.1. All vertices are created with
+/// placeholder weights by the topology builders and weighted afterwards, so
+/// the weight stream is independent of construction order details.
+void assignWeights(Dag& g, support::Rng& rng, double workScale) {
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    g.setWork(v, workScale * static_cast<double>(rng.uniformInt(1, 1000)));
+    g.setMemory(v, static_cast<double>(rng.uniformInt(1, 192)));
+  }
+}
+
+}  // namespace
+
+std::vector<Family> allFamilies() {
+  return {Family::kSeismology, Family::kBlast,      Family::kBwa,
+          Family::kEpigenomics, Family::kGenome1000, Family::kMontage,
+          Family::kSoyKb};
+}
+
+std::string familyName(Family f) {
+  switch (f) {
+    case Family::kSeismology: return "Seismology";
+    case Family::kBlast: return "BLAST";
+    case Family::kBwa: return "BWA";
+    case Family::kEpigenomics: return "Epigenomics";
+    case Family::kGenome1000: return "1000Genome";
+    case Family::kMontage: return "Montage";
+    case Family::kSoyKb: return "SoyKB";
+  }
+  return "?";
+}
+
+bool isHighFanout(Family f) {
+  return f == Family::kSeismology || f == Family::kBlast || f == Family::kBwa;
+}
+
+std::string sizeBandName(SizeBand band) {
+  switch (band) {
+    case SizeBand::kReal: return "real";
+    case SizeBand::kSmall: return "small";
+    case SizeBand::kMid: return "mid";
+    case SizeBand::kBig: return "big";
+  }
+  return "?";
+}
+
+namespace {
+
+VertexId task(Dag& g, const std::string& label) {
+  return g.addVertex(1.0, 1.0, label);
+}
+
+Dag seismology(int n) {
+  Dag g;
+  const int p = std::max(1, n - 2);
+  const VertexId root = task(g, "sG1IterDecon_root");
+  std::vector<VertexId> decon(p);
+  for (int i = 0; i < p; ++i) decon[i] = task(g, "sG1IterDecon");
+  const VertexId sink = task(g, "wrapper_siftSTFByMisfit");
+  for (int i = 0; i < p; ++i) {
+    g.addEdge(root, decon[i], 1.0);
+    g.addEdge(decon[i], sink, 1.0);
+  }
+  return g;
+}
+
+Dag blast(int n) {
+  Dag g;
+  const int p = std::max(1, n - 3);
+  const VertexId split = task(g, "split_fasta");
+  std::vector<VertexId> blastall(p);
+  for (int i = 0; i < p; ++i) blastall[i] = task(g, "blastall");
+  const VertexId cat = task(g, "cat_blast");
+  const VertexId report = task(g, "cat");
+  for (int i = 0; i < p; ++i) {
+    g.addEdge(split, blastall[i], 1.0);
+    g.addEdge(blastall[i], cat, 1.0);
+  }
+  g.addEdge(cat, report, 1.0);
+  return g;
+}
+
+Dag bwa(int n) {
+  Dag g;
+  const int p = std::max(1, n - 4);
+  const VertexId index = task(g, "bwa_index");
+  const VertexId split = task(g, "fastq_split");
+  std::vector<VertexId> align(p);
+  for (int i = 0; i < p; ++i) align[i] = task(g, "bwa_align");
+  const VertexId concat = task(g, "concat_sam");
+  const VertexId report = task(g, "report");
+  for (int i = 0; i < p; ++i) {
+    g.addEdge(index, align[i], 1.0);
+    g.addEdge(split, align[i], 1.0);
+    g.addEdge(align[i], concat, 1.0);
+  }
+  g.addEdge(concat, report, 1.0);
+  return g;
+}
+
+Dag epigenomics(int n) {
+  // chainLen-stage pipelines between a fastq split and the merge tail.
+  Dag g;
+  constexpr int kChainLen = 5;  // filterContams..map stages per chunk
+  const int chains = std::max(1, (n - 4) / kChainLen);
+  const VertexId split = task(g, "fastqSplit");
+  const VertexId merge = task(g, "mapMerge");
+  static const char* kStage[kChainLen] = {"filterContams", "sol2sanger",
+                                          "fast2bfq", "map", "mapIndex"};
+  for (int c = 0; c < chains; ++c) {
+    VertexId prev = split;
+    for (int s = 0; s < kChainLen; ++s) {
+      const VertexId cur = task(g, kStage[s]);
+      g.addEdge(prev, cur, 1.0);
+      prev = cur;
+    }
+    g.addEdge(prev, merge, 1.0);
+  }
+  const VertexId maqIndex = task(g, "maqIndex");
+  const VertexId pileup = task(g, "pileup");
+  g.addEdge(merge, maqIndex, 1.0);
+  g.addEdge(maqIndex, pileup, 1.0);
+  return g;
+}
+
+Dag genome1000(int n) {
+  // Groups model chromosomes: a fan of "individuals" jobs merges, passes a
+  // sifting stage, and feeds two analysis tasks.
+  Dag g;
+  const int groups = std::max(1, n / 64);
+  const int perGroup = std::max(6, n / groups);
+  const int fan = perGroup - 4;
+  for (int grp = 0; grp < groups; ++grp) {
+    const VertexId sifting = task(g, "sifting");
+    const VertexId merge = task(g, "individuals_merge");
+    for (int i = 0; i < fan; ++i) {
+      const VertexId ind = task(g, "individuals");
+      g.addEdge(ind, merge, 1.0);
+    }
+    const VertexId overlap = task(g, "mutation_overlap");
+    const VertexId freq = task(g, "frequency");
+    g.addEdge(merge, overlap, 1.0);
+    g.addEdge(merge, freq, 1.0);
+    g.addEdge(sifting, overlap, 1.0);
+    g.addEdge(sifting, freq, 1.0);
+  }
+  return g;
+}
+
+Dag montage(int n) {
+  Dag g;
+  const int p = std::max(2, (n - 5) / 3);
+  std::vector<VertexId> project(p);
+  for (int i = 0; i < p; ++i) project[i] = task(g, "mProject");
+  std::vector<VertexId> diff(p - 1);
+  for (int i = 0; i + 1 < p; ++i) {
+    diff[i] = task(g, "mDiffFit");
+    g.addEdge(project[i], diff[i], 1.0);
+    g.addEdge(project[i + 1], diff[i], 1.0);
+  }
+  const VertexId concat = task(g, "mConcatFit");
+  for (int i = 0; i + 1 < p; ++i) g.addEdge(diff[i], concat, 1.0);
+  const VertexId bgModel = task(g, "mBgModel");
+  g.addEdge(concat, bgModel, 1.0);
+  std::vector<VertexId> background(p);
+  for (int i = 0; i < p; ++i) {
+    background[i] = task(g, "mBackground");
+    g.addEdge(bgModel, background[i], 1.0);
+    g.addEdge(project[i], background[i], 1.0);
+  }
+  const VertexId imgtbl = task(g, "mImgtbl");
+  for (int i = 0; i < p; ++i) g.addEdge(background[i], imgtbl, 1.0);
+  const VertexId add = task(g, "mAdd");
+  const VertexId shrink = task(g, "mShrink");
+  const VertexId jpeg = task(g, "mJPEG");
+  g.addEdge(imgtbl, add, 1.0);
+  g.addEdge(add, shrink, 1.0);
+  g.addEdge(shrink, jpeg, 1.0);
+  return g;
+}
+
+Dag soykb(int n) {
+  // Chain-dominated preprocessing followed by a fork-join tail; small
+  // instances expose almost no parallelism (paper Sec. 5.2.5).
+  Dag g;
+  const int chainLen = std::max(2, n / 3);
+  const int fan = std::max(2, n - chainLen - 4);
+  VertexId prev = task(g, "alignment_to_reference");
+  for (int i = 1; i < chainLen; ++i) {
+    const VertexId cur = task(g, i % 2 == 0 ? "sort_sam" : "dedup");
+    g.addEdge(prev, cur, 1.0);
+    prev = cur;
+  }
+  const VertexId fork = task(g, "realign_target_creator");
+  g.addEdge(prev, fork, 1.0);
+  const VertexId join = task(g, "combine_variants");
+  for (int i = 0; i < fan; ++i) {
+    const VertexId hap = task(g, "haplotype_caller");
+    g.addEdge(fork, hap, 1.0);
+    g.addEdge(hap, join, 1.0);
+  }
+  const VertexId select = task(g, "select_variants");
+  const VertexId filter = task(g, "filtering");
+  g.addEdge(join, select, 1.0);
+  g.addEdge(select, filter, 1.0);
+  return g;
+}
+
+}  // namespace
+
+Dag generate(Family f, const GenConfig& cfg) {
+  assert(cfg.numTasks >= 8);
+  Dag g;
+  switch (f) {
+    case Family::kSeismology: g = seismology(cfg.numTasks); break;
+    case Family::kBlast: g = blast(cfg.numTasks); break;
+    case Family::kBwa: g = bwa(cfg.numTasks); break;
+    case Family::kEpigenomics: g = epigenomics(cfg.numTasks); break;
+    case Family::kGenome1000: g = genome1000(cfg.numTasks); break;
+    case Family::kMontage: g = montage(cfg.numTasks); break;
+    case Family::kSoyKb: g = soykb(cfg.numTasks); break;
+  }
+  // Seed combines family and size so every instance draws an independent,
+  // reproducible weight stream.
+  support::Rng rng(cfg.seed ^ support::hashName(familyName(f).c_str()) ^
+                   (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(
+                                                cfg.numTasks)));
+  assignWeights(g, rng, cfg.workScale);
+  // Edge costs ~ U{1..10} (topology builders create them with cost 1).
+  for (graph::EdgeId e = 0; e < g.numEdges(); ++e) {
+    g.setEdgeCost(e, static_cast<double>(rng.uniformInt(1, 10)));
+  }
+  return g;
+}
+
+}  // namespace dagpm::workflows

@@ -1,0 +1,37 @@
+#pragma once
+// WfCommons-style JSON workflow interchange.
+//
+// The paper's generated workflows come from WfGen/WfCommons [9], whose
+// instances are JSON documents. This module reads a practical subset of
+// that schema and a simpler native dialect, and writes the native dialect:
+//
+// native dialect:
+//   { "name": "wf",
+//     "tasks": [ {"name":"a", "work":1.5, "memory":2 }, ... ],
+//     "edges": [ {"from":"a", "to":"b", "cost":3 }, ... ] }
+//
+// WfCommons-style (subset):
+//   { "name": "...", "workflow": { "tasks": [
+//       {"name":"a", "runtime":1.5, "memory":2, "parents":["p1", ...]},
+//       ... ] } }
+// where edge costs default to 1 (WfCommons carries file sizes on separate
+// file objects; when a task lists "files" with sizes and links, input file
+// sizes are summed onto the parent edges evenly).
+
+#include <optional>
+#include <string>
+
+#include "graph/dag.hpp"
+
+namespace dagpm::workflows {
+
+/// Parses either dialect; std::nullopt (with *error set) on failure or if
+/// the result is not a DAG.
+std::optional<graph::Dag> workflowFromJson(const std::string& text,
+                                           std::string* error = nullptr);
+
+/// Serializes to the native dialect (pretty-printed).
+std::string workflowToJson(const graph::Dag& g,
+                           const std::string& name = "workflow");
+
+}  // namespace dagpm::workflows

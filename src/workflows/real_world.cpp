@@ -1,0 +1,287 @@
+#include "workflows/real_world.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace dagpm::workflows {
+
+using graph::Dag;
+using graph::VertexId;
+
+namespace {
+
+VertexId task(Dag& g, const std::string& label) {
+  return g.addVertex(1.0, 1.0, label);
+}
+
+/// methylseq-like, 11 tasks: a single linear QC+align+call pipeline with one
+/// side branch (the smallest real workflow in the paper's set).
+Dag methylseq() {
+  Dag g;
+  const VertexId fastqc = task(g, "fastqc");
+  const VertexId trim = task(g, "trim_galore");
+  const VertexId align = task(g, "bismark_align");
+  const VertexId dedup = task(g, "bismark_deduplicate");
+  const VertexId extract = task(g, "bismark_methylation_extractor");
+  const VertexId report = task(g, "bismark_report");
+  const VertexId summary = task(g, "bismark_summary");
+  const VertexId qualimap = task(g, "qualimap");
+  const VertexId preseq = task(g, "preseq");
+  const VertexId multiqc = task(g, "multiqc");
+  const VertexId output = task(g, "output_documentation");
+  g.addEdge(fastqc, trim, 1.0);
+  g.addEdge(trim, align, 1.0);
+  g.addEdge(align, dedup, 1.0);
+  g.addEdge(dedup, extract, 1.0);
+  g.addEdge(extract, report, 1.0);
+  g.addEdge(report, summary, 1.0);
+  g.addEdge(dedup, qualimap, 1.0);
+  g.addEdge(trim, preseq, 1.0);
+  g.addEdge(summary, multiqc, 1.0);
+  g.addEdge(qualimap, multiqc, 1.0);
+  g.addEdge(preseq, multiqc, 1.0);
+  g.addEdge(multiqc, output, 1.0);
+  return g;
+}
+
+/// chipseq-like, 23 tasks: two replicate branches that converge into peak
+/// calling and joint QC.
+Dag chipseq() {
+  Dag g;
+  const VertexId design = task(g, "check_design");
+  VertexId merged[2];
+  for (int rep = 0; rep < 2; ++rep) {
+    const VertexId fastqc = task(g, "fastqc");
+    const VertexId trim = task(g, "trimgalore");
+    const VertexId align = task(g, "bwa_mem");
+    const VertexId sort = task(g, "sort_bam");
+    const VertexId filt = task(g, "filter_bam");
+    const VertexId dedup = task(g, "picard_dedup");
+    g.addEdge(design, fastqc, 1.0);
+    g.addEdge(fastqc, trim, 1.0);
+    g.addEdge(trim, align, 1.0);
+    g.addEdge(align, sort, 1.0);
+    g.addEdge(sort, filt, 1.0);
+    g.addEdge(filt, dedup, 1.0);
+    merged[rep] = dedup;
+  }
+  const VertexId mergeRep = task(g, "merge_replicates");
+  g.addEdge(merged[0], mergeRep, 1.0);
+  g.addEdge(merged[1], mergeRep, 1.0);
+  const VertexId macs = task(g, "macs2");
+  const VertexId annotate = task(g, "homer_annotate");
+  const VertexId consensus = task(g, "consensus_peaks");
+  const VertexId featureCounts = task(g, "feature_counts");
+  const VertexId deseq = task(g, "deseq2_qc");
+  g.addEdge(mergeRep, macs, 1.0);
+  g.addEdge(macs, annotate, 1.0);
+  g.addEdge(macs, consensus, 1.0);
+  g.addEdge(consensus, featureCounts, 1.0);
+  g.addEdge(featureCounts, deseq, 1.0);
+  const VertexId phantom = task(g, "phantompeakqualtools");
+  const VertexId plotProfile = task(g, "plot_profile");
+  const VertexId plotFinger = task(g, "plot_fingerprint");
+  g.addEdge(mergeRep, phantom, 1.0);
+  g.addEdge(mergeRep, plotProfile, 1.0);
+  g.addEdge(mergeRep, plotFinger, 1.0);
+  const VertexId igv = task(g, "igv_session");
+  const VertexId multiqc = task(g, "multiqc");
+  g.addEdge(annotate, igv, 1.0);
+  g.addEdge(deseq, multiqc, 1.0);
+  g.addEdge(phantom, multiqc, 1.0);
+  g.addEdge(plotProfile, multiqc, 1.0);
+  g.addEdge(plotFinger, multiqc, 1.0);
+  g.addEdge(igv, multiqc, 1.0);
+  return g;
+}
+
+/// eager-like, 34 tasks: ancient-DNA pipeline; 4 samples x 7-stage chains
+/// converging into genotyping and QC stages.
+Dag eager() {
+  Dag g;
+  const VertexId ref = task(g, "prepare_reference");
+  std::vector<VertexId> ends;
+  for (int s = 0; s < 4; ++s) {
+    const VertexId fastqc = task(g, "fastqc");
+    const VertexId adapter = task(g, "adapter_removal");
+    const VertexId map = task(g, "bwa_aln");
+    const VertexId filt = task(g, "samtools_filter");
+    const VertexId dedup = task(g, "dedup");
+    const VertexId damage = task(g, "damageprofiler");
+    const VertexId trim = task(g, "bam_trim");
+    g.addEdge(ref, fastqc, 1.0);
+    g.addEdge(fastqc, adapter, 1.0);
+    g.addEdge(adapter, map, 1.0);
+    g.addEdge(map, filt, 1.0);
+    g.addEdge(filt, dedup, 1.0);
+    g.addEdge(dedup, damage, 1.0);
+    g.addEdge(dedup, trim, 1.0);
+    ends.push_back(damage);
+    ends.push_back(trim);
+  }
+  const VertexId genotype = task(g, "genotyping");
+  for (std::size_t i = 1; i < ends.size(); i += 2) {
+    g.addEdge(ends[i], genotype, 1.0);  // trims feed genotyping
+  }
+  const VertexId vcf = task(g, "vcf2genome");
+  const VertexId mqc = task(g, "multiqc");
+  const VertexId sexdet = task(g, "sex_determination");
+  const VertexId nuclear = task(g, "nuclear_contamination");
+  g.addEdge(genotype, vcf, 1.0);
+  g.addEdge(genotype, sexdet, 1.0);
+  g.addEdge(genotype, nuclear, 1.0);
+  for (std::size_t i = 0; i < ends.size(); i += 2) {
+    g.addEdge(ends[i], mqc, 1.0);  // damage profiles feed QC
+  }
+  g.addEdge(vcf, mqc, 1.0);
+  g.addEdge(sexdet, mqc, 1.0);
+  g.addEdge(nuclear, mqc, 1.0);
+  return g;
+}
+
+/// rnaseq-like, 41 tasks: 5 samples x 6-stage chains, quantification merge,
+/// then a QC fan that reconverges.
+Dag rnaseq() {
+  Dag g;
+  const VertexId genome = task(g, "prepare_genome");
+  std::vector<VertexId> quants;
+  for (int s = 0; s < 5; ++s) {
+    const VertexId fastqc = task(g, "fastqc");
+    const VertexId trim = task(g, "trimgalore");
+    const VertexId star = task(g, "star_align");
+    const VertexId sort = task(g, "samtools_sort");
+    const VertexId mark = task(g, "markduplicates");
+    const VertexId quant = task(g, "salmon_quant");
+    g.addEdge(genome, fastqc, 1.0);
+    g.addEdge(fastqc, trim, 1.0);
+    g.addEdge(trim, star, 1.0);
+    g.addEdge(star, sort, 1.0);
+    g.addEdge(sort, mark, 1.0);
+    g.addEdge(mark, quant, 1.0);
+    quants.push_back(quant);
+  }
+  const VertexId tximport = task(g, "tximport");
+  for (const VertexId q : quants) g.addEdge(q, tximport, 1.0);
+  const VertexId deseq = task(g, "deseq2");
+  g.addEdge(tximport, deseq, 1.0);
+  static const char* kQc[] = {"rseqc_junction", "rseqc_bamstat", "qualimap",
+                              "dupradar", "preseq", "biotype_qc"};
+  std::vector<VertexId> qcTasks;
+  for (const char* name : kQc) {
+    const VertexId qc = task(g, name);
+    g.addEdge(tximport, qc, 1.0);
+    qcTasks.push_back(qc);
+  }
+  const VertexId multiqc = task(g, "multiqc");
+  g.addEdge(deseq, multiqc, 1.0);
+  for (const VertexId qc : qcTasks) g.addEdge(qc, multiqc, 1.0);
+  const VertexId report = task(g, "summary_report");
+  g.addEdge(multiqc, report, 1.0);
+  return g;
+}
+
+/// sarek-like, 58 tasks: tumor/normal pairs through preprocessing chains,
+/// scatter-gathered variant calling with three callers, annotation.
+Dag sarek() {
+  Dag g;
+  const VertexId intervals = task(g, "create_intervals");
+  std::vector<VertexId> recals;
+  for (int sample = 0; sample < 2; ++sample) {
+    const VertexId fastqc = task(g, "fastqc");
+    const VertexId map = task(g, "bwa_mem");
+    const VertexId sort = task(g, "sort_bam");
+    const VertexId mark = task(g, "markduplicates");
+    const VertexId bqsr = task(g, "baserecalibrator");
+    const VertexId apply = task(g, "applybqsr");
+    g.addEdge(intervals, fastqc, 1.0);
+    g.addEdge(fastqc, map, 1.0);
+    g.addEdge(map, sort, 1.0);
+    g.addEdge(sort, mark, 1.0);
+    g.addEdge(mark, bqsr, 1.0);
+    g.addEdge(bqsr, apply, 1.0);
+    recals.push_back(apply);
+  }
+  static const char* kCaller[] = {"strelka", "mutect2", "manta"};
+  std::vector<VertexId> callerMerges;
+  for (const char* caller : kCaller) {
+    // Scatter over 8 genome shards, then gather.
+    const VertexId gather =
+        task(g, std::string(caller) + "_merge");
+    for (int shard = 0; shard < 8; ++shard) {
+      const VertexId call = task(g, std::string(caller) + "_call");
+      for (const VertexId r : recals) g.addEdge(r, call, 1.0);
+      g.addEdge(call, gather, 1.0);
+    }
+    callerMerges.push_back(gather);
+  }
+  const VertexId concat = task(g, "concat_vcf");
+  for (const VertexId m : callerMerges) g.addEdge(m, concat, 1.0);
+  const VertexId vep = task(g, "vep_annotate");
+  const VertexId snpeff = task(g, "snpeff_annotate");
+  g.addEdge(concat, vep, 1.0);
+  g.addEdge(concat, snpeff, 1.0);
+  const VertexId bcftools = task(g, "bcftools_stats");
+  const VertexId vcftools = task(g, "vcftools_stats");
+  g.addEdge(concat, bcftools, 1.0);
+  g.addEdge(concat, vcftools, 1.0);
+  const VertexId multiqc = task(g, "multiqc");
+  g.addEdge(vep, multiqc, 1.0);
+  g.addEdge(snpeff, multiqc, 1.0);
+  g.addEdge(bcftools, multiqc, 1.0);
+  g.addEdge(vcftools, multiqc, 1.0);
+  return g;
+}
+
+/// Lotaru-style weights: a noHistoryFraction of tasks keeps weight 1 (no
+/// historical data); the rest carries heavy normalized measurements. Memory
+/// is normalized so the largest value is 192 (the biggest machine).
+void applyHistoricalWeights(Dag& g, support::Rng& rng,
+                            const RealWorldConfig& cfg) {
+  std::vector<VertexId> order(g.numVertices());
+  for (VertexId v = 0; v < g.numVertices(); ++v) order[v] = v;
+  rng.shuffle(order);
+  const auto numHeavy = static_cast<std::size_t>(
+      static_cast<double>(g.numVertices()) * (1.0 - cfg.noHistoryFraction));
+  double maxMemory = 1.0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const VertexId v = order[i];
+    if (i < numHeavy) {
+      g.setWork(v, cfg.workScale *
+                       static_cast<double>(rng.uniformInt(50, 1000)));
+      g.setMemory(v, static_cast<double>(rng.uniformInt(8, 256)));
+      maxMemory = std::max(maxMemory, g.memory(v));
+    } else {
+      g.setWork(v, cfg.workScale * 1.0);
+      g.setMemory(v, 1.0);
+    }
+  }
+  // Normalize memory weights to the biggest machine (192 GB).
+  const double scale = 192.0 / maxMemory;
+  if (scale < 1.0) {
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+      g.setMemory(v, std::max(1.0, g.memory(v) * scale));
+    }
+  }
+  for (graph::EdgeId e = 0; e < g.numEdges(); ++e) {
+    g.setEdgeCost(e, static_cast<double>(rng.uniformInt(1, 10)));
+  }
+}
+
+}  // namespace
+
+std::vector<RealWorkflow> realWorldSuite(const RealWorldConfig& cfg) {
+  std::vector<RealWorkflow> suite;
+  suite.push_back({"methylseq", methylseq()});
+  suite.push_back({"chipseq", chipseq()});
+  suite.push_back({"eager", eager()});
+  suite.push_back({"rnaseq", rnaseq()});
+  suite.push_back({"sarek", sarek()});
+  for (RealWorkflow& wf : suite) {
+    support::Rng rng(cfg.seed ^ support::hashName(wf.name.c_str()));
+    applyHistoricalWeights(wf.dag, rng, cfg);
+  }
+  return suite;
+}
+
+}  // namespace dagpm::workflows

@@ -1,0 +1,178 @@
+// Tests for the experiment harness: instance construction, the comparison
+// runner (with validation on), result caching, and aggregation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "experiments/harness.hpp"
+
+namespace dagpm::experiments {
+namespace {
+
+using workflows::SizeBand;
+
+TEST(Instances, SyntheticCountsAndNames) {
+  const auto instances =
+      makeSyntheticInstances({60, 100}, SizeBand::kSmall, 2);
+  // 7 families x 2 sizes x 2 seeds.
+  EXPECT_EQ(instances.size(), 28u);
+  std::set<std::string> names;
+  for (const auto& inst : instances) {
+    EXPECT_TRUE(names.insert(inst.name).second) << "duplicate " << inst.name;
+    EXPECT_EQ(inst.band, SizeBand::kSmall);
+    EXPECT_GT(inst.dag.numVertices(), 0u);
+  }
+}
+
+TEST(Instances, RealSuite) {
+  const auto instances = makeRealInstances(1);
+  EXPECT_EQ(instances.size(), 5u);
+  for (const auto& inst : instances) {
+    EXPECT_EQ(inst.band, SizeBand::kReal);
+    EXPECT_EQ(static_cast<int>(inst.dag.numVertices()), inst.numTasks);
+  }
+}
+
+TEST(Instances, WorkScaleShowsUpInName) {
+  const auto instances =
+      makeSyntheticInstances({60}, SizeBand::kSmall, 1, 4.0);
+  for (const auto& inst : instances) {
+    EXPECT_NE(inst.name.find("-w4"), std::string::npos);
+  }
+}
+
+TEST(Runner, ComparisonValidatesAndAggregates) {
+  auto instances = makeSyntheticInstances({80}, SizeBand::kSmall, 1);
+  // Keep the test fast: the three high-fanout families suffice (they are
+  // comfortably schedulable on the default cluster at this size).
+  instances.resize(3);
+  const platform::Cluster cluster = platform::makeCluster(
+      platform::Heterogeneity::kDefault, platform::ClusterSize::kDefault);
+  RunnerOptions options;
+  options.validate = true;  // throws on an invalid schedule
+  options.parallelInstances = false;
+  options.part.parallelSweep = false;
+  const auto outcomes = runComparison(instances, cluster, options);
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const auto& out : outcomes) {
+    EXPECT_TRUE(out.partFeasible) << out.instance;
+    EXPECT_TRUE(out.memFeasible) << out.instance;
+    EXPECT_GT(out.partMakespan, 0.0);
+    EXPECT_GT(out.memMakespan, 0.0);
+  }
+  const auto byBand = aggregateByBand(outcomes);
+  ASSERT_EQ(byBand.count(SizeBand::kSmall), 1u);
+  const Aggregate& agg = byBand.at(SizeBand::kSmall);
+  EXPECT_EQ(agg.total, 3);
+  EXPECT_EQ(agg.scheduledBoth, 3);
+  EXPECT_GT(agg.geomeanRatio, 0.0);
+  EXPECT_LT(agg.geomeanRatio, 1.0);  // the heuristic wins on average
+}
+
+TEST(Runner, CacheAvoidsRecomputation) {
+  const std::string path = testing::TempDir() + "/dagpm_run_cache.tsv";
+  std::remove(path.c_str());
+  auto instances = makeSyntheticInstances({60}, SizeBand::kSmall, 1);
+  instances.resize(2);
+  const platform::Cluster cluster = platform::makeCluster(
+      platform::Heterogeneity::kDefault, platform::ClusterSize::kSmall);
+  std::vector<RunOutcome> first, second;
+  {
+    support::ResultCache cache(path);
+    RunnerOptions options;
+    options.cache = &cache;
+    options.cacheTag = "test-tag";
+    options.parallelInstances = false;
+    options.part.parallelSweep = false;
+    first = runComparison(instances, cluster, options);
+    EXPECT_GT(cache.size(), 0u);
+  }
+  {
+    support::ResultCache cache(path);  // reloaded from disk
+    RunnerOptions options;
+    options.cache = &cache;
+    options.cacheTag = "test-tag";
+    options.parallelInstances = false;
+    options.part.parallelSweep = false;
+    second = runComparison(instances, cluster, options);
+  }
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i].partMakespan, second[i].partMakespan);
+    EXPECT_DOUBLE_EQ(first[i].memMakespan, second[i].memMakespan);
+    // Cached runs replay the stored runtime rather than remeasuring.
+    EXPECT_DOUBLE_EQ(first[i].partSeconds, second[i].partSeconds);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Runner, DifferentCacheTagsDoNotCollide) {
+  const std::string path = testing::TempDir() + "/dagpm_tag_cache.tsv";
+  std::remove(path.c_str());
+  support::ResultCache cache(path);
+  auto instances = makeRealInstances(1);
+  instances.resize(1);
+  const platform::Cluster fast = platform::makeCluster(
+      platform::Heterogeneity::kNone, platform::ClusterSize::kSmall);
+  const platform::Cluster slow = platform::makeCluster(
+      platform::Heterogeneity::kDefault, platform::ClusterSize::kSmall);
+  RunnerOptions a;
+  a.cache = &cache;
+  a.cacheTag = "clusterA";
+  a.parallelInstances = false;
+  a.part.parallelSweep = false;
+  RunnerOptions b = a;
+  b.cacheTag = "clusterB";
+  const auto outA = runComparison(instances, fast, a);
+  const auto outB = runComparison(instances, slow, b);
+  // NoHet's all-C2 cluster is strictly faster; results must differ, which
+  // proves the second run did not reuse the first tag's entries.
+  EXPECT_NE(outA[0].partMakespan, outB[0].partMakespan);
+  std::remove(path.c_str());
+}
+
+TEST(Aggregate, GroupsByCustomKey) {
+  std::vector<RunOutcome> outcomes(4);
+  outcomes[0].family = "BLAST";
+  outcomes[1].family = "BLAST";
+  outcomes[2].family = "BWA";
+  outcomes[3].family = "BWA";
+  for (auto& out : outcomes) {
+    out.partFeasible = out.memFeasible = true;
+    out.partMakespan = 2.0;
+    out.memMakespan = 4.0;
+    out.partSeconds = out.memSeconds = 1.0;
+  }
+  outcomes[2].partMakespan = 1.0;  // BWA ratio 0.25 and 0.5
+  const auto groups =
+      aggregateBy(outcomes, [](const RunOutcome& o) { return o.family; });
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_DOUBLE_EQ(groups.at("BLAST").geomeanRatio, 0.5);
+  EXPECT_NEAR(groups.at("BWA").geomeanRatio, std::sqrt(0.25 * 0.5), 1e-12);
+}
+
+TEST(Aggregate, InfeasibleRunsCountedButNotAveraged) {
+  std::vector<RunOutcome> outcomes(2);
+  outcomes[0].partFeasible = outcomes[0].memFeasible = true;
+  outcomes[0].partMakespan = 1.0;
+  outcomes[0].memMakespan = 2.0;
+  outcomes[1].partFeasible = false;
+  outcomes[1].memFeasible = true;
+  const auto byBand = aggregateByBand(outcomes);
+  const Aggregate& agg = byBand.at(SizeBand::kSmall);
+  EXPECT_EQ(agg.total, 2);
+  EXPECT_EQ(agg.scheduledBoth, 1);
+  EXPECT_EQ(agg.partScheduled, 1);
+  EXPECT_EQ(agg.memScheduled, 2);
+  EXPECT_DOUBLE_EQ(agg.geomeanRatio, 0.5);
+}
+
+TEST(Aggregate, DefaultCachePathHonorsEnv) {
+  EXPECT_FALSE(defaultCachePath().empty());
+}
+
+}  // namespace
+}  // namespace dagpm::experiments

@@ -1,0 +1,173 @@
+// Fuzz-style property tests: random operation sequences exercising the
+// quotient merge/rollback machinery and the full scheduling pipeline across
+// randomized instances, asserting the library's core invariants throughout.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/topology.hpp"
+#include "memory/oracle.hpp"
+#include "partition/partitioner.hpp"
+#include "quotient/quotient.hpp"
+#include "scheduler/daghetmem.hpp"
+#include "scheduler/daghetpart.hpp"
+#include "scheduler/solution.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace dagpm {
+namespace {
+
+using graph::Dag;
+using graph::VertexId;
+using quotient::BlockId;
+
+/// Deep-compares the mutable state of two quotient graphs.
+void expectQuotientsEqual(const quotient::QuotientGraph& a,
+                          const quotient::QuotientGraph& b) {
+  ASSERT_EQ(a.numSlots(), b.numSlots());
+  ASSERT_EQ(a.numAlive(), b.numAlive());
+  for (BlockId i = 0; i < a.numSlots(); ++i) {
+    const quotient::QNode& na = a.node(i);
+    const quotient::QNode& nb = b.node(i);
+    ASSERT_EQ(na.alive, nb.alive) << "node " << i;
+    if (!na.alive) continue;
+    EXPECT_DOUBLE_EQ(na.work, nb.work) << "node " << i;
+    EXPECT_EQ(na.members, nb.members) << "node " << i;
+    EXPECT_EQ(na.out, nb.out) << "node " << i;
+    EXPECT_EQ(na.in, nb.in) << "node " << i;
+  }
+}
+
+class QuotientFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuotientFuzz, RandomMergeRollbackSequencesRestoreState) {
+  const std::uint64_t seed = GetParam();
+  const Dag g = test::randomLayeredDag(8, 6, 3, seed);
+  // Partition into ~8 blocks to get a non-trivial quotient.
+  partition::PartitionConfig pcfg;
+  pcfg.numParts = 8;
+  pcfg.seed = seed;
+  const auto pr = partition::partitionAcyclic(g, pcfg);
+  quotient::QuotientGraph q(g, pr.blockOf, pr.numBlocks);
+  const quotient::QuotientGraph snapshot(g, pr.blockOf, pr.numBlocks);
+
+  support::Rng rng(seed * 31 + 7);
+  // Random nested merges followed by LIFO rollbacks, repeated.
+  for (int round = 0; round < 20; ++round) {
+    std::vector<quotient::MergeTransaction> stack;
+    const int depth = 1 + static_cast<int>(rng.uniformInt(0, 3));
+    for (int d = 0; d < depth; ++d) {
+      const auto alive = q.aliveNodes();
+      if (alive.size() < 2) break;
+      const BlockId a = alive[static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(alive.size()) - 1))];
+      BlockId b = a;
+      while (b == a) {
+        b = alive[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(alive.size()) - 1))];
+      }
+      stack.push_back(q.merge(a, b));
+    }
+    while (!stack.empty()) {
+      q.rollback(std::move(stack.back()));
+      stack.pop_back();
+    }
+    expectQuotientsEqual(q, snapshot);
+  }
+}
+
+TEST_P(QuotientFuzz, CommittedMergesKeepTaskCoverage) {
+  const std::uint64_t seed = GetParam();
+  const Dag g = test::randomLayeredDag(7, 5, 3, seed);
+  partition::PartitionConfig pcfg;
+  pcfg.numParts = 10;
+  pcfg.seed = seed;
+  const auto pr = partition::partitionAcyclic(g, pcfg);
+  quotient::QuotientGraph q(g, pr.blockOf, pr.numBlocks);
+
+  support::Rng rng(seed ^ 0xabcdef);
+  // Commit random merges until two nodes remain; coverage must hold at
+  // every step, and work must be conserved.
+  const double totalWork = g.totalWork();
+  while (q.numAlive() > 2) {
+    const auto alive = q.aliveNodes();
+    const BlockId a = alive[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(alive.size()) - 1))];
+    BlockId b = a;
+    while (b == a) {
+      b = alive[static_cast<std::size_t>(rng.uniformInt(
+          0, static_cast<std::int64_t>(alive.size()) - 1))];
+    }
+    q.merge(a, b);
+
+    std::vector<int> seen(g.numVertices(), 0);
+    double work = 0.0;
+    for (const BlockId node : q.aliveNodes()) {
+      for (const VertexId v : q.node(node).members) ++seen[v];
+      work += q.node(node).work;
+    }
+    for (const int s : seen) ASSERT_EQ(s, 1);
+    ASSERT_NEAR(work, totalWork, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuotientFuzz,
+                         testing::Range<std::uint64_t>(1, 13));
+
+class PipelineFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineFuzz, RandomInstancesAlwaysValidOrInfeasible) {
+  const std::uint64_t seed = GetParam();
+  support::Rng rng(seed);
+  // Randomized workflow shape and cluster tightness.
+  graph::LayeredDagConfig gcfg;
+  gcfg.layers = 3 + static_cast<int>(rng.uniformInt(0, 6));
+  gcfg.maxWidth = 2 + static_cast<int>(rng.uniformInt(0, 8));
+  gcfg.maxInDegree = 1 + static_cast<int>(rng.uniformInt(0, 3));
+  gcfg.seed = seed * 977;
+  const Dag g = graph::randomLayeredDag(gcfg);
+
+  std::vector<platform::Processor> procs;
+  const int k = 2 + static_cast<int>(rng.uniformInt(0, 10));
+  for (int p = 0; p < k; ++p) {
+    procs.push_back({"p" + std::to_string(p),
+                     static_cast<double>(rng.uniformInt(1, 32)),
+                     static_cast<double>(rng.uniformInt(8, 256))});
+  }
+  platform::Cluster cluster(std::move(procs),
+                            0.5 + rng.uniformReal() * 4.0);
+  // Intentionally do NOT always scale memories: roughly half the cases stay
+  // memory-tight and must either fail cleanly or produce valid schedules.
+  if (rng.bernoulli(0.5)) {
+    cluster.scaleMemoriesToFit(g.maxTaskMemoryRequirement());
+  }
+
+  const memory::MemDagOracle oracle(g);
+  scheduler::DagHetPartConfig cfg;
+  cfg.seed = seed;
+  cfg.parallelSweep = false;
+  const scheduler::ScheduleResult part = scheduler::dagHetPart(g, cluster, cfg);
+  if (part.feasible) {
+    const auto report = scheduler::validateSchedule(g, cluster, oracle, part);
+    EXPECT_TRUE(report.valid) << "seed " << seed << ": " << report.error;
+  }
+  const scheduler::ScheduleResult mem = scheduler::dagHetMem(g, cluster);
+  if (mem.feasible) {
+    const auto report = scheduler::validateSchedule(g, cluster, oracle, mem);
+    EXPECT_TRUE(report.valid) << "seed " << seed << ": " << report.error;
+  }
+  if (part.feasible && mem.feasible) {
+    // Per-instance dominance is not guaranteed (DagHetPart is a heuristic;
+    // on adversarial random clusters it can lose a few percent, e.g. seed
+    // 26 loses 8.6%). Guard against gross regressions only; the aggregate
+    // win is asserted by the Headline integration tests.
+    EXPECT_LE(part.makespan, mem.makespan * 1.2 + 1e-9) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace dagpm

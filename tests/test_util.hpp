@@ -1,0 +1,78 @@
+#pragma once
+// Shared helpers for the test suite: thin wrappers over the library's
+// random DAG generators plus brute-force peak-memory search used as the
+// ground truth for the SP scheduler and the exact DP.
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/topology.hpp"
+#include "memory/simulate.hpp"
+
+namespace dagpm::test {
+
+/// Random layered DAG (see graph::randomLayeredDag).
+inline graph::Dag randomLayeredDag(int layers, int width, int maxIn,
+                                   std::uint64_t seed) {
+  graph::LayeredDagConfig cfg;
+  cfg.layers = layers;
+  cfg.maxWidth = width;
+  cfg.maxInDegree = maxIn;
+  cfg.seed = seed;
+  return graph::randomLayeredDag(cfg);
+}
+
+/// Random two-terminal series-parallel DAG (see graph::randomSpDag).
+inline graph::Dag randomSpDag(int targetSize, std::uint64_t seed) {
+  graph::SpDagConfig cfg;
+  cfg.targetSize = targetSize;
+  cfg.seed = seed;
+  return graph::randomSpDag(cfg);
+}
+
+/// Brute force: minimum peak over all topological orders (tiny graphs only).
+inline double bruteForceMinPeak(const graph::SubDag& sub) {
+  const std::size_t n = sub.dag.numVertices();
+  std::vector<graph::VertexId> order;
+  std::vector<bool> used(n, false);
+  std::vector<std::size_t> remainingParents(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    remainingParents[v] = sub.dag.inDegree(v);
+  }
+  double best = std::numeric_limits<double>::infinity();
+  auto recurse = [&](auto&& self) -> void {
+    if (order.size() == n) {
+      best = std::min(best, memory::simulateBlockOrder(sub, order).peak);
+      return;
+    }
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (used[v] || remainingParents[v] != 0) continue;
+      used[v] = true;
+      order.push_back(v);
+      for (const graph::EdgeId e : sub.dag.outEdges(v)) {
+        --remainingParents[sub.dag.edge(e).dst];
+      }
+      self(self);
+      for (const graph::EdgeId e : sub.dag.outEdges(v)) {
+        ++remainingParents[sub.dag.edge(e).dst];
+      }
+      order.pop_back();
+      used[v] = false;
+    }
+  };
+  recurse(recurse);
+  return best;
+}
+
+/// Wraps a whole Dag as a SubDag with no boundary (identity mapping).
+inline graph::SubDag wholeDagAsSub(const graph::Dag& g) {
+  std::vector<graph::VertexId> all(g.numVertices());
+  for (graph::VertexId v = 0; v < g.numVertices(); ++v) all[v] = v;
+  return graph::inducedSubgraph(g, all);
+}
+
+}  // namespace dagpm::test

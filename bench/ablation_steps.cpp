@@ -58,12 +58,14 @@ int main() {
   }
 
   support::Table table({"variant", "scheduled", "rel.makespan vs baseline"});
+  experiments::OutcomeGroups groups;
   for (const Variant& variant : variants) {
     auto options = ctx.options("default-36|beta1|ablate-" + variant.name);
     options.part = variant.cfg;
     options.part.sweep = ctx.sweep();
     const auto outcomes =
         experiments::runComparison(instances, cluster, options);
+    groups.emplace_back(variant.name, outcomes);
     int scheduled = 0;
     std::vector<double> ratios;
     for (const auto& out : outcomes) {
@@ -81,5 +83,5 @@ int main() {
                             support::geometricMean(ratios))});
   }
   table.print(std::cout);
-  return 0;
+  return bench::finish(ctx, "ablation_steps", groups);
 }

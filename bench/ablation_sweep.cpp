@@ -31,11 +31,13 @@ int main() {
 
   support::Table table({"sweep", "k' candidates", "scheduled",
                         "rel.makespan vs baseline", "avg runtime (s)"});
+  experiments::OutcomeGroups groups;
   for (const auto& [name, sweep] : sweeps) {
     auto options = ctx.options("default-36|beta1|sweep-" + name);
     options.part.sweep = sweep;
     const auto outcomes =
         experiments::runComparison(instances, cluster, options);
+    groups.emplace_back(name, outcomes);
     int scheduled = 0;
     std::vector<double> ratios, seconds;
     for (const auto& out : outcomes) {
@@ -60,5 +62,5 @@ int main() {
                   support::Table::num(support::mean(seconds), 3)});
   }
   table.print(std::cout);
-  return 0;
+  return bench::finish(ctx, "ablation_sweep", groups);
 }

@@ -17,6 +17,7 @@ int main() {
   const auto instances = ctx.allInstances();
   support::Table table({"workflow type", "18 CPUs", "36 CPUs", "60 CPUs"});
   std::map<workflows::SizeBand, std::vector<std::string>> rows;
+  experiments::OutcomeGroups groups;
   for (const auto size :
        {platform::ClusterSize::kSmall, platform::ClusterSize::kDefault,
         platform::ClusterSize::kLarge}) {
@@ -26,6 +27,7 @@ int main() {
         platform::makeCluster(platform::Heterogeneity::kDefault, size);
     const auto outcomes = experiments::runComparison(
         instances, cluster, ctx.options(name + "|beta1"));
+    groups.emplace_back(name, outcomes);
     for (const auto& [band, agg] : experiments::aggregateByBand(outcomes)) {
       rows[band].push_back(agg.geomeanRatio > 0.0
                                ? support::Table::percent(agg.geomeanRatio)
@@ -40,5 +42,5 @@ int main() {
   table.print(std::cout);
   std::cout << "\n(lower is better; paper shows monotone improvement with "
                "cluster size except for real-world workflows)\n";
-  return 0;
+  return bench::finish(ctx, "fig03_right_cluster_sizes", groups);
 }

@@ -26,11 +26,13 @@ int main() {
   };
 
   std::map<workflows::SizeBand, std::vector<std::string>> relRows, absRows;
+  experiments::OutcomeGroups groups;
   for (const auto& [het, name] : levels) {
     const platform::Cluster cluster =
         platform::makeCluster(het, platform::ClusterSize::kDefault);
     const auto outcomes = experiments::runComparison(
         instances, cluster, ctx.options(name + "-36|beta1"));
+    groups.emplace_back(name, outcomes);
     for (const auto& [band, agg] : experiments::aggregateByBand(outcomes)) {
       relRows[band].push_back(agg.geomeanRatio > 0.0
                                   ? support::Table::percent(agg.geomeanRatio)
@@ -59,5 +61,5 @@ int main() {
     abs.addRow(row);
   }
   abs.print(std::cout);
-  return 0;
+  return bench::finish(ctx, "fig04_heterogeneity", groups);
 }

@@ -21,14 +21,16 @@ int main() {
 
   std::map<workflows::SizeBand, std::vector<std::string>> rows;
   std::vector<std::string> fannedRow, chainedRow;
+  experiments::OutcomeGroups groups;
   for (const double beta : bandwidths) {
     platform::Cluster cluster = platform::makeCluster(
         platform::Heterogeneity::kDefault, platform::ClusterSize::kDefault,
         beta);
     char tag[64];
-    std::snprintf(tag, sizeof tag, "default-36|beta%g", beta);
-    const auto outcomes =
-        experiments::runComparison(instances, cluster, ctx.options(tag));
+    std::snprintf(tag, sizeof tag, "beta%g", beta);
+    const auto outcomes = experiments::runComparison(
+        instances, cluster, ctx.options("default-36|" + std::string(tag)));
+    groups.emplace_back(tag, outcomes);
     for (const auto& [band, agg] : experiments::aggregateByBand(outcomes)) {
       rows[band].push_back(agg.geomeanRatio > 0.0
                                ? support::Table::percent(agg.geomeanRatio)
@@ -77,5 +79,5 @@ int main() {
     table.addRow(row);
   }
   table.print(std::cout);
-  return 0;
+  return bench::finish(ctx, "fig07_bandwidth_ccr", groups);
 }

@@ -28,7 +28,7 @@ int main() {
   support::Table table({"family", "tasks", "HEFT makespan",
                         "DagHetPart makespan", "gap",
                         "HEFT procs over memory", "worst overshoot"});
-  int violating = 0, total = 0;
+  int violating = 0, total = 0, partFeasible = 0;
   for (const workflows::Family family : workflows::allFamilies()) {
     workflows::GenConfig gen;
     gen.numTasks = ctx.env().smallSizes().back();
@@ -47,6 +47,7 @@ int main() {
 
     ++total;
     violating += !diagnosis.feasible();
+    partFeasible += part.feasible ? 1 : 0;
     table.addRow(
         {workflows::familyName(family), std::to_string(g.numVertices()),
          support::Table::num(heft.makespan, 0),
@@ -64,5 +65,9 @@ int main() {
             << " workflows (the paper's motivation for DagHetPart)\n"
             << "(HEFT is task-granular and memory-oblivious: its makespan "
                "is an optimistic reference, not a valid schedule)\n";
+  if (partFeasible == 0) {
+    std::cerr << "error: DagHetPart scheduled no family at this scale\n";
+    return 1;
+  }
   return 0;
 }

@@ -36,5 +36,6 @@ int main() {
                   support::Table::num(delta * 100.0, 1) + "pp"});
   }
   table.print(std::cout);
-  return 0;
+  return bench::finish(ctx, "sec524_highdemand",
+                       {{"work1x", base}, {"work4x", heavy}});
 }

@@ -71,6 +71,10 @@ int main(int argc, char** argv) {
                   "no");
     }
   }
+  if (bestName == "-") {
+    std::fprintf(stderr, "no platform option could schedule the workflow\n");
+    return 1;
+  }
   std::printf("\nrecommended platform: %s (makespan %.1f)\n", bestName.c_str(),
               bestMakespan);
   return 0;

@@ -39,6 +39,11 @@ int main(int argc, char** argv) {
   scheduler::DagHetPartConfig cfg;
   const scheduler::ScheduleResult heuristic =
       scheduler::dagHetPart(workflow, cluster, cfg);
+  if (!baseline.feasible || !heuristic.feasible) {
+    std::fprintf(stderr, "no valid mapping (%s infeasible)\n",
+                 !baseline.feasible ? "DagHetMem" : "DagHetPart");
+    return 1;
+  }
 
   std::printf("\n%-12s %10s %8s %8s %8s\n", "scheduler", "makespan", "blocks",
               "merges", "time(s)");

@@ -1,6 +1,7 @@
 #include "experiments/export.hpp"
 
 #include <cstdio>
+#include <fstream>
 
 #include "support/csv.hpp"
 #include "support/env.hpp"
@@ -8,48 +9,187 @@
 
 namespace dagpm::experiments {
 
-bool exportOutcomesCsv(const std::string& path,
-                       const std::vector<RunOutcome>& outcomes) {
+bool exportOutcomesCsv(const std::string& path, const OutcomeGroups& groups) {
   std::vector<std::vector<std::string>> rows;
-  rows.reserve(outcomes.size());
   char buf[64];
   auto fmt = [&buf](double v) {
     std::snprintf(buf, sizeof buf, "%.6g", v);
     return std::string(buf);
   };
-  for (const RunOutcome& out : outcomes) {
-    const bool both = out.partFeasible && out.memFeasible;
-    rows.push_back({
-        out.instance,
-        workflows::sizeBandName(out.band),
-        out.family,
-        std::to_string(out.numTasks),
-        out.partFeasible ? "1" : "0",
-        out.memFeasible ? "1" : "0",
-        fmt(out.partMakespan),
-        fmt(out.memMakespan),
-        both && out.memMakespan > 0.0
-            ? fmt(out.partMakespan / out.memMakespan)
-            : "",
-        fmt(out.partSeconds),
-        fmt(out.memSeconds),
-    });
+  for (const auto& [config, outcomes] : groups) {
+    for (const RunOutcome& out : outcomes) {
+      const bool both = out.partFeasible && out.memFeasible;
+      rows.push_back({
+          config,
+          out.instance,
+          workflows::sizeBandName(out.band),
+          out.family,
+          std::to_string(out.numTasks),
+          out.partFeasible ? "1" : "0",
+          out.memFeasible ? "1" : "0",
+          fmt(out.partMakespan),
+          fmt(out.memMakespan),
+          both && out.memMakespan > 0.0
+              ? fmt(out.partMakespan / out.memMakespan)
+              : "",
+          fmt(out.partSeconds),
+          fmt(out.memSeconds),
+      });
+    }
   }
   return support::writeCsv(
       path,
-      {"instance", "band", "family", "tasks", "part_feasible",
+      {"config", "instance", "band", "family", "tasks", "part_feasible",
        "mem_feasible", "part_makespan", "mem_makespan", "ratio",
        "part_seconds", "mem_seconds"},
       rows);
 }
 
+bool exportOutcomesCsv(const std::string& path,
+                       const std::vector<RunOutcome>& outcomes) {
+  return exportOutcomesCsv(path, OutcomeGroups{{"", outcomes}});
+}
+
 std::string maybeExportCsv(const std::string& name,
-                           const std::vector<RunOutcome>& outcomes) {
+                           const OutcomeGroups& groups, bool* error) {
+  if (error != nullptr) *error = false;
   const std::string dir = support::getEnvOr("DAGPM_CSV", "");
   if (dir.empty()) return "";
   const std::string path = dir + "/" + name + ".csv";
-  if (!exportOutcomesCsv(path, outcomes)) return "";
+  if (!exportOutcomesCsv(path, groups)) {
+    if (error != nullptr) *error = true;
+    return "";
+  }
   return path;
+}
+
+std::string maybeExportCsv(const std::string& name,
+                           const std::vector<RunOutcome>& outcomes,
+                           bool* error) {
+  return maybeExportCsv(name, OutcomeGroups{{"", outcomes}}, error);
+}
+
+support::JsonValue aggregateToJson(const Aggregate& agg) {
+  support::JsonObject obj;
+  obj["total"] = support::JsonValue(static_cast<double>(agg.total));
+  obj["scheduled_both"] =
+      support::JsonValue(static_cast<double>(agg.scheduledBoth));
+  obj["part_scheduled"] =
+      support::JsonValue(static_cast<double>(agg.partScheduled));
+  obj["mem_scheduled"] =
+      support::JsonValue(static_cast<double>(agg.memScheduled));
+  obj["geomean_ratio"] = support::JsonValue(agg.geomeanRatio);
+  obj["geomean_part_makespan"] =
+      support::JsonValue(agg.geomeanPartMakespan);
+  obj["geomean_mem_makespan"] = support::JsonValue(agg.geomeanMemMakespan);
+  obj["mean_part_seconds"] = support::JsonValue(agg.meanPartSeconds);
+  obj["mean_mem_seconds"] = support::JsonValue(agg.meanMemSeconds);
+  obj["geomean_runtime_ratio"] =
+      support::JsonValue(agg.geomeanRuntimeRatio);
+  return support::JsonValue(std::move(obj));
+}
+
+namespace {
+
+// "band|family" composite keys; '|' cannot appear in band or family names.
+constexpr char kGroupSep = '|';
+
+support::JsonValue rowJson(const std::string& config, const std::string& band,
+                           const std::string& family, const Aggregate& agg) {
+  support::JsonValue row = aggregateToJson(agg);
+  support::JsonObject obj = row.asObject();
+  obj["config"] = support::JsonValue(config);
+  obj["band"] = support::JsonValue(band);
+  obj["family"] = support::JsonValue(family);
+  return support::JsonValue(std::move(obj));
+}
+
+}  // namespace
+
+support::JsonValue outcomesToJson(
+    const std::string& bench, const OutcomeGroups& groups,
+    const std::map<std::string, std::string>& meta) {
+  support::JsonArray rows;
+  std::vector<RunOutcome> all;
+  for (const auto& [config, outcomes] : groups) {
+    all.insert(all.end(), outcomes.begin(), outcomes.end());
+    // Per-(band, family) rows: the finest aggregate the paper reports.
+    const auto byGroup = aggregateBy(outcomes, [](const RunOutcome& out) {
+      return workflows::sizeBandName(out.band) + std::string(1, kGroupSep) +
+             out.family;
+    });
+    for (const auto& [key, agg] : byGroup) {
+      const std::size_t sep = key.find(kGroupSep);
+      rows.push_back(
+          rowJson(config, key.substr(0, sep), key.substr(sep + 1), agg));
+    }
+    // Per-band rollups ("family": "*"), matching the printed band tables.
+    for (const auto& [band, agg] : aggregateByBand(outcomes)) {
+      rows.push_back(rowJson(config, workflows::sizeBandName(band), "*", agg));
+    }
+  }
+
+  support::JsonObject metaObj;
+  for (const auto& [key, value] : meta) {
+    metaObj[key] = support::JsonValue(value);
+  }
+
+  support::JsonObject doc;
+  doc["schema_version"] = support::JsonValue(1.0);
+  doc["bench"] = support::JsonValue(bench);
+  doc["meta"] = support::JsonValue(std::move(metaObj));
+  doc["rows"] = support::JsonValue(std::move(rows));
+  doc["overall"] = aggregateToJson(
+      aggregateBy(all, [](const RunOutcome&) {
+        return std::string("all");
+      })["all"]);
+  return support::JsonValue(std::move(doc));
+}
+
+support::JsonValue outcomesToJson(
+    const std::string& bench, const std::vector<RunOutcome>& outcomes,
+    const std::map<std::string, std::string>& meta) {
+  return outcomesToJson(bench, OutcomeGroups{{"", outcomes}}, meta);
+}
+
+bool exportAggregatesJson(const std::string& path, const std::string& bench,
+                          const OutcomeGroups& groups,
+                          const std::map<std::string, std::string>& meta) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << outcomesToJson(bench, groups, meta).dump() << '\n';
+  // Close before checking: buffered writes can fail at flush time (e.g. a
+  // full disk) and must not be reported as success.
+  out.close();
+  return !out.fail();
+}
+
+bool exportAggregatesJson(const std::string& path, const std::string& bench,
+                          const std::vector<RunOutcome>& outcomes,
+                          const std::map<std::string, std::string>& meta) {
+  return exportAggregatesJson(path, bench, OutcomeGroups{{"", outcomes}},
+                              meta);
+}
+
+std::string maybeExportJson(const std::string& bench,
+                            const OutcomeGroups& groups,
+                            const std::map<std::string, std::string>& meta,
+                            bool* error) {
+  if (error != nullptr) *error = false;
+  const std::string path = support::getEnvOr("DAGPM_JSON_OUT", "");
+  if (path.empty()) return "";
+  if (!exportAggregatesJson(path, bench, groups, meta)) {
+    if (error != nullptr) *error = true;
+    return "";
+  }
+  return path;
+}
+
+std::string maybeExportJson(const std::string& bench,
+                            const std::vector<RunOutcome>& outcomes,
+                            const std::map<std::string, std::string>& meta,
+                            bool* error) {
+  return maybeExportJson(bench, OutcomeGroups{{"", outcomes}}, meta, error);
 }
 
 }  // namespace dagpm::experiments

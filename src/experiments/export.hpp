@@ -1,23 +1,79 @@
 #pragma once
-// CSV export of experiment outcomes. Benches honor DAGPM_CSV=<dir>: when
-// set, each bench also writes its raw per-instance results to
-// <dir>/<name>.csv so figures can be re-plotted externally.
+// CSV / JSON export of experiment outcomes.
+//
+// Benches honor two environment variables:
+//   DAGPM_CSV=<dir>       each bench also writes its raw per-instance results
+//                         to <dir>/<name>.csv so figures can be re-plotted
+//                         externally.
+//   DAGPM_JSON_OUT=<path> the bench writes its aggregate rows (per band and
+//                         per family) as a JSON document, the machine-readable
+//                         record the perf trajectory (BENCH_*.json) regresses
+//                         against.
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "experiments/harness.hpp"
+#include "support/json.hpp"
 
 namespace dagpm::experiments {
 
-/// Writes one row per outcome (instance, band, family, tasks, feasibility,
-/// makespans, runtimes, ratio). Returns false on I/O failure.
+/// Benches that sweep a parameter (cluster size, heterogeneity, bandwidth,
+/// ablation variant, ...) export one named group per configuration so the
+/// perf trajectory can regress each configuration separately instead of a
+/// pooled geomean. Single-configuration benches use one group named "".
+using OutcomeGroups =
+    std::vector<std::pair<std::string, std::vector<RunOutcome>>>;
+
+/// Writes one row per outcome (config, instance, band, family, tasks,
+/// feasibility, makespans, runtimes, ratio). Returns false on I/O failure.
+/// The config column distinguishes the rows of parameter-sweeping benches;
+/// single-configuration benches leave it empty.
+bool exportOutcomesCsv(const std::string& path, const OutcomeGroups& groups);
 bool exportOutcomesCsv(const std::string& path,
                        const std::vector<RunOutcome>& outcomes);
 
-/// If DAGPM_CSV is set, writes `outcomes` to $DAGPM_CSV/<name>.csv and
-/// returns the path; otherwise returns an empty string.
+/// If DAGPM_CSV is set, writes the groups to $DAGPM_CSV/<name>.csv and
+/// returns the path; otherwise returns an empty string. Sets *error on I/O
+/// failure (distinguishes a failed write from DAGPM_CSV being unset).
 std::string maybeExportCsv(const std::string& name,
-                           const std::vector<RunOutcome>& outcomes);
+                           const OutcomeGroups& groups,
+                           bool* error = nullptr);
+std::string maybeExportCsv(const std::string& name,
+                           const std::vector<RunOutcome>& outcomes,
+                           bool* error = nullptr);
+
+/// One Aggregate as a JSON object (all fields, snake_case keys).
+support::JsonValue aggregateToJson(const Aggregate& agg);
+
+/// The full JSON document for one bench run: {"bench", "meta", "rows",
+/// "overall"} where rows holds one aggregate per (config, band, family)
+/// group and per (config, band), and overall aggregates every outcome.
+support::JsonValue outcomesToJson(
+    const std::string& bench, const OutcomeGroups& groups,
+    const std::map<std::string, std::string>& meta = {});
+support::JsonValue outcomesToJson(
+    const std::string& bench, const std::vector<RunOutcome>& outcomes,
+    const std::map<std::string, std::string>& meta = {});
+
+/// Serializes outcomesToJson(...) to `path`. Returns false on I/O failure.
+bool exportAggregatesJson(const std::string& path, const std::string& bench,
+                          const OutcomeGroups& groups,
+                          const std::map<std::string, std::string>& meta = {});
+bool exportAggregatesJson(const std::string& path, const std::string& bench,
+                          const std::vector<RunOutcome>& outcomes,
+                          const std::map<std::string, std::string>& meta = {});
+
+/// If DAGPM_JSON_OUT is set, writes the aggregate JSON there and returns the
+/// path; otherwise returns an empty string. Sets *error on I/O failure.
+std::string maybeExportJson(const std::string& bench,
+                            const OutcomeGroups& groups,
+                            const std::map<std::string, std::string>& meta = {},
+                            bool* error = nullptr);
+std::string maybeExportJson(const std::string& bench,
+                            const std::vector<RunOutcome>& outcomes,
+                            const std::map<std::string, std::string>& meta = {},
+                            bool* error = nullptr);
 
 }  // namespace dagpm::experiments

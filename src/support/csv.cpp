@@ -31,7 +31,10 @@ bool writeCsv(const std::string& path, const std::vector<std::string>& header,
   };
   emit(header);
   for (const auto& row : rows) emit(row);
-  return static_cast<bool>(os);
+  // Close before checking: buffered writes can fail at flush time (e.g. a
+  // full disk) and must not be reported as success.
+  os.close();
+  return !os.fail();
 }
 
 ResultCache::ResultCache(std::string path) : path_(std::move(path)) {

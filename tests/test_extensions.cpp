@@ -465,7 +465,9 @@ TEST(Export, WritesOneRowPerOutcome) {
 
 TEST(Export, MaybeExportRespectsEnv) {
   // DAGPM_CSV unset in tests: export is a no-op.
-  EXPECT_EQ(experiments::maybeExportCsv("x", {}), "");
+  EXPECT_EQ(experiments::maybeExportCsv(
+                "x", std::vector<experiments::RunOutcome>{}),
+            "");
 }
 
 }  // namespace

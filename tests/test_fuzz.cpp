@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <numeric>
+
 #include "graph/generators.hpp"
 #include "graph/topology.hpp"
 #include "memory/oracle.hpp"
@@ -21,6 +24,21 @@ namespace {
 using graph::Dag;
 using graph::VertexId;
 using quotient::BlockId;
+
+/// Seeds 1..n, where n defaults to `defaultCount` and can be raised (or
+/// lowered) via DAGPM_FUZZ_ITERS so nightly CI can crank up the coverage.
+std::vector<std::uint64_t> fuzzSeeds(int defaultCount) {
+  int count = defaultCount;
+  if (const char* iters = std::getenv("DAGPM_FUZZ_ITERS");
+      iters != nullptr && *iters != '\0') {
+    // A malformed value keeps the default rather than silently collapsing
+    // coverage to one seed (atoi returns 0 on garbage).
+    if (const int parsed = std::atoi(iters); parsed > 0) count = parsed;
+  }
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(count));
+  std::iota(seeds.begin(), seeds.end(), std::uint64_t{1});
+  return seeds;
+}
 
 /// Deep-compares the mutable state of two quotient graphs.
 void expectQuotientsEqual(const quotient::QuotientGraph& a,
@@ -113,7 +131,7 @@ TEST_P(QuotientFuzz, CommittedMergesKeepTaskCoverage) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QuotientFuzz,
-                         testing::Range<std::uint64_t>(1, 13));
+                         testing::ValuesIn(fuzzSeeds(12)));
 
 class PipelineFuzz : public testing::TestWithParam<std::uint64_t> {};
 
@@ -167,7 +185,7 @@ TEST_P(PipelineFuzz, RandomInstancesAlwaysValidOrInfeasible) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
-                         testing::Range<std::uint64_t>(1, 33));
+                         testing::ValuesIn(fuzzSeeds(32)));
 
 }  // namespace
 }  // namespace dagpm

@@ -340,7 +340,7 @@ TEST(SwapStep, RespectsMemoryFeasibility) {
 
 TEST(SwapStep, IdleMovePullsCriticalBlockToFasterProcessor) {
   Dag g;
-  const VertexId a = g.addVertex(100, 1);
+  [[maybe_unused]] const VertexId a = g.addVertex(100, 1);
   quotient::QuotientGraph q(g, {0}, 1);
   std::vector<platform::Processor> procs{{"slow", 1.0, 100.0},
                                          {"fast", 10.0, 100.0}};
@@ -559,7 +559,9 @@ TEST(DagHetPart, FullSweepAtLeastAsGoodAsSingle) {
   const ScheduleResult f = dagHetPart(g, cluster, full);
   const ScheduleResult s = dagHetPart(g, cluster, single);
   ASSERT_TRUE(f.feasible);
-  if (s.feasible) EXPECT_LE(f.makespan, s.makespan + 1e-9);
+  if (s.feasible) {
+    EXPECT_LE(f.makespan, s.makespan + 1e-9);
+  }
 }
 
 }  // namespace

@@ -49,6 +49,11 @@
 #include "scheduler/list_scheduler.hpp"
 #include "scheduler/solution.hpp"
 
+// Discrete-event execution simulator + Monte-Carlo robustness evaluation.
+#include "sim/engine.hpp"
+#include "sim/perturbation.hpp"
+#include "sim/robustness.hpp"
+
 // Workflow instances: WfGen-like families, real-world-like suite, JSON.
 #include "workflows/families.hpp"
 #include "workflows/json_io.hpp"
@@ -57,3 +62,4 @@
 // Experiment harness.
 #include "experiments/export.hpp"
 #include "experiments/harness.hpp"
+#include "experiments/robustness.hpp"

@@ -9,13 +9,35 @@
 
 namespace dagpm::experiments {
 
+std::string formatG6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+bool writeJsonDocument(const std::string& path,
+                       const support::JsonValue& doc) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << doc.dump() << '\n';
+  // Close before checking: buffered writes can fail at flush time (e.g. a
+  // full disk) and must not be reported as success.
+  out.close();
+  return !out.fail();
+}
+
+std::string csvExportPath(const std::string& name) {
+  const std::string dir = support::getEnvOr("DAGPM_CSV", "");
+  return dir.empty() ? "" : dir + "/" + name + ".csv";
+}
+
+std::string jsonExportPath() {
+  return support::getEnvOr("DAGPM_JSON_OUT", "");
+}
+
 bool exportOutcomesCsv(const std::string& path, const OutcomeGroups& groups) {
   std::vector<std::vector<std::string>> rows;
-  char buf[64];
-  auto fmt = [&buf](double v) {
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-    return std::string(buf);
-  };
+  const auto& fmt = formatG6;
   for (const auto& [config, outcomes] : groups) {
     for (const RunOutcome& out : outcomes) {
       const bool both = out.partFeasible && out.memFeasible;
@@ -53,9 +75,8 @@ bool exportOutcomesCsv(const std::string& path,
 std::string maybeExportCsv(const std::string& name,
                            const OutcomeGroups& groups, bool* error) {
   if (error != nullptr) *error = false;
-  const std::string dir = support::getEnvOr("DAGPM_CSV", "");
-  if (dir.empty()) return "";
-  const std::string path = dir + "/" + name + ".csv";
+  const std::string path = csvExportPath(name);
+  if (path.empty()) return "";
   if (!exportOutcomesCsv(path, groups)) {
     if (error != nullptr) *error = true;
     return "";
@@ -155,13 +176,7 @@ support::JsonValue outcomesToJson(
 bool exportAggregatesJson(const std::string& path, const std::string& bench,
                           const OutcomeGroups& groups,
                           const std::map<std::string, std::string>& meta) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << outcomesToJson(bench, groups, meta).dump() << '\n';
-  // Close before checking: buffered writes can fail at flush time (e.g. a
-  // full disk) and must not be reported as success.
-  out.close();
-  return !out.fail();
+  return writeJsonDocument(path, outcomesToJson(bench, groups, meta));
 }
 
 bool exportAggregatesJson(const std::string& path, const std::string& bench,
@@ -176,7 +191,7 @@ std::string maybeExportJson(const std::string& bench,
                             const std::map<std::string, std::string>& meta,
                             bool* error) {
   if (error != nullptr) *error = false;
-  const std::string path = support::getEnvOr("DAGPM_JSON_OUT", "");
+  const std::string path = jsonExportPath();
   if (path.empty()) return "";
   if (!exportAggregatesJson(path, bench, groups, meta)) {
     if (error != nullptr) *error = true;

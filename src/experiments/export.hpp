@@ -19,6 +19,22 @@
 
 namespace dagpm::experiments {
 
+// Low-level plumbing shared by all exporters (including the robustness
+// exports in experiments/robustness.hpp).
+
+/// "%.6g" — the numeric cell format of every exported CSV.
+std::string formatG6(double v);
+
+/// Serializes `doc` to `path` with a trailing newline; returns false on I/O
+/// failure, including buffered writes failing at flush time.
+bool writeJsonDocument(const std::string& path, const support::JsonValue& doc);
+
+/// $DAGPM_CSV/<name>.csv when DAGPM_CSV is set, else "".
+std::string csvExportPath(const std::string& name);
+
+/// $DAGPM_JSON_OUT, else "".
+std::string jsonExportPath();
+
 /// Benches that sweep a parameter (cluster size, heterogeneity, bandwidth,
 /// ablation variant, ...) export one named group per configuration so the
 /// perf trajectory can regress each configuration separately instead of a

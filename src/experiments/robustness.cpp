@@ -1,0 +1,254 @@
+#include "experiments/robustness.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "experiments/export.hpp"
+#include "support/csv.hpp"
+#include "support/stats.hpp"
+
+namespace dagpm::experiments {
+
+std::vector<NoiseLevel> lognormalLadder(const std::vector<double>& sigmas) {
+  std::vector<NoiseLevel> levels;
+  levels.reserve(sigmas.size());
+  for (const double sigma : sigmas) {
+    NoiseLevel level;
+    if (sigma <= 0.0) {
+      level.spec.kind = sim::PerturbationKind::kDeterministic;
+    } else {
+      level.spec.kind = sim::PerturbationKind::kLognormal;
+      level.spec.sigma = sigma;
+    }
+    std::ostringstream name;
+    name << "sigma" << sigma;
+    level.config = name.str();
+    levels.push_back(std::move(level));
+  }
+  return levels;
+}
+
+std::vector<RobustnessOutcome> runRobustness(
+    const std::vector<Instance>& instances, const platform::Cluster& cluster,
+    const std::vector<NoiseLevel>& levels,
+    const RobustnessRunnerOptions& options) {
+  const std::size_t numLevels = levels.size();
+  // Fixed slot layout (instance-major, then level, then scheduler) makes the
+  // result order and every derived seed independent of thread scheduling.
+  std::vector<RobustnessOutcome> slots(instances.size() * numLevels * 2);
+  std::vector<char> filled(slots.size(), 0);
+
+  auto runOne = [&](std::size_t i) {
+    const Instance& inst = instances[i];
+    platform::Cluster scaled = cluster;
+    scaled.scaleMemoriesToFit(inst.dag.maxTaskMemoryRequirement());
+
+    scheduler::DagHetPartConfig pcfg = options.part;
+    pcfg.parallelSweep = !options.parallelInstances;
+    const scheduler::ScheduleResult part =
+        scheduler::dagHetPart(inst.dag, scaled, pcfg);
+    const scheduler::ScheduleResult mem =
+        scheduler::dagHetMem(inst.dag, scaled, options.mem);
+    const memory::MemDagOracle partOracle(inst.dag, options.part.oracle);
+    const memory::MemDagOracle memOracle(inst.dag, options.mem.oracle);
+
+    for (std::size_t l = 0; l < numLevels; ++l) {
+      for (int s = 0; s < 2; ++s) {
+        const scheduler::ScheduleResult& schedule = s == 0 ? part : mem;
+        if (!schedule.feasible) continue;
+        const std::size_t slot = (i * numLevels + l) * 2 +
+                                 static_cast<std::size_t>(s);
+        RobustnessOutcome& out = slots[slot];
+        out.config = levels[l].config;
+        out.scheduler = s == 0 ? "part" : "mem";
+        out.instance = inst.name;
+        out.band = inst.band;
+        out.family = inst.family;
+        out.numTasks = inst.numTasks;
+
+        sim::RobustnessOptions ro = options.robustness;
+        ro.perturbation = levels[l].spec;
+        // The instance-level loop already saturates the cores.
+        ro.parallel = !options.parallelInstances;
+        ro.seed = sim::mixSeed(options.robustness.seed,
+                               static_cast<std::uint64_t>(slot));
+        out.summary = sim::evaluateRobustness(
+            inst.dag, scaled, schedule, s == 0 ? partOracle : memOracle, ro);
+        filled[slot] = 1;
+      }
+    }
+  };
+
+#ifdef _OPENMP
+  if (options.parallelInstances) {
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t i = 0; i < instances.size(); ++i) runOne(i);
+  } else {
+    for (std::size_t i = 0; i < instances.size(); ++i) runOne(i);
+  }
+#else
+  for (std::size_t i = 0; i < instances.size(); ++i) runOne(i);
+#endif
+
+  std::vector<RobustnessOutcome> outcomes;
+  outcomes.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (filled[i] != 0) outcomes.push_back(std::move(slots[i]));
+  }
+  return outcomes;
+}
+
+std::map<std::pair<std::string, std::string>, RobustnessAggregate>
+aggregateRobustness(const std::vector<RobustnessOutcome>& outcomes) {
+  std::map<std::pair<std::string, std::string>,
+           std::vector<const RobustnessOutcome*>>
+      groups;
+  for (const RobustnessOutcome& out : outcomes) {
+    groups[{out.config, out.scheduler}].push_back(&out);
+  }
+  std::map<std::pair<std::string, std::string>, RobustnessAggregate> result;
+  for (const auto& [key, group] : groups) {
+    RobustnessAggregate agg;
+    std::vector<double> statics, means, p95s, meanSlow, p95Slow;
+    long totalReplications = 0;
+    for (const RobustnessOutcome* out : group) {
+      const sim::RobustnessSummary& s = out->summary;
+      if (!s.ok || s.makespans.empty()) continue;
+      ++agg.instances;
+      agg.replications = s.replications;
+      totalReplications += s.replications;
+      // Degenerate all-zero-work schedules yield zero makespans, which the
+      // geometric mean cannot absorb; skip them like the ratios below.
+      if (s.staticMakespan > 0.0) statics.push_back(s.staticMakespan);
+      if (s.meanMakespan > 0.0) means.push_back(s.meanMakespan);
+      if (s.p95Makespan > 0.0) p95s.push_back(s.p95Makespan);
+      if (s.staticMakespan > 0.0) {
+        meanSlow.push_back(s.meanMakespan / s.staticMakespan);
+        p95Slow.push_back(s.p95Makespan / s.staticMakespan);
+        agg.maxSlowdown =
+            std::max(agg.maxSlowdown, s.maxMakespan / s.staticMakespan);
+      }
+      agg.overflowRuns += s.overflowRuns;
+    }
+    agg.geomeanStaticMakespan = support::geometricMean(statics);
+    agg.geomeanMeanMakespan = support::geometricMean(means);
+    agg.geomeanP95Makespan = support::geometricMean(p95s);
+    agg.geomeanMeanSlowdown = support::geometricMean(meanSlow);
+    agg.geomeanP95Slowdown = support::geometricMean(p95Slow);
+    agg.overflowFraction =
+        totalReplications > 0
+            ? static_cast<double>(agg.overflowRuns) /
+                  static_cast<double>(totalReplications)
+            : 0.0;
+    result[key] = agg;
+  }
+  return result;
+}
+
+bool exportRobustnessCsv(const std::string& path,
+                         const std::vector<RobustnessOutcome>& outcomes) {
+  std::vector<std::vector<std::string>> rows;
+  const auto& fmt = formatG6;
+  for (const RobustnessOutcome& out : outcomes) {
+    const sim::RobustnessSummary& s = out.summary;
+    rows.push_back({
+        out.config,
+        out.scheduler,
+        out.instance,
+        workflows::sizeBandName(out.band),
+        out.family,
+        std::to_string(out.numTasks),
+        s.ok ? "1" : "0",
+        fmt(s.staticMakespan),
+        fmt(s.meanMakespan),
+        fmt(s.p50Makespan),
+        fmt(s.p95Makespan),
+        fmt(s.minMakespan),
+        fmt(s.maxMakespan),
+        fmt(s.meanSlowdown),
+        fmt(s.p95Slowdown),
+        std::to_string(s.overflowRuns),
+        std::to_string(s.replications),
+    });
+  }
+  return support::writeCsv(
+      path,
+      {"config", "scheduler", "instance", "band", "family", "tasks", "ok",
+       "static_makespan", "mean_makespan", "p50_makespan", "p95_makespan",
+       "min_makespan", "max_makespan", "mean_slowdown", "p95_slowdown",
+       "overflow_runs", "replications"},
+      rows);
+}
+
+support::JsonValue robustnessToJson(
+    const std::string& bench, const std::vector<RobustnessOutcome>& outcomes,
+    const std::map<std::string, std::string>& meta) {
+  support::JsonArray rows;
+  for (const auto& [key, agg] : aggregateRobustness(outcomes)) {
+    support::JsonObject row;
+    row["config"] = support::JsonValue(key.first);
+    row["scheduler"] = support::JsonValue(key.second);
+    row["instances"] = support::JsonValue(static_cast<double>(agg.instances));
+    row["replications"] =
+        support::JsonValue(static_cast<double>(agg.replications));
+    row["geomean_static_makespan"] =
+        support::JsonValue(agg.geomeanStaticMakespan);
+    row["geomean_mean_makespan"] =
+        support::JsonValue(agg.geomeanMeanMakespan);
+    row["geomean_p95_makespan"] = support::JsonValue(agg.geomeanP95Makespan);
+    row["geomean_mean_slowdown"] =
+        support::JsonValue(agg.geomeanMeanSlowdown);
+    row["geomean_p95_slowdown"] = support::JsonValue(agg.geomeanP95Slowdown);
+    row["max_slowdown"] = support::JsonValue(agg.maxSlowdown);
+    row["overflow_runs"] =
+        support::JsonValue(static_cast<double>(agg.overflowRuns));
+    row["overflow_fraction"] = support::JsonValue(agg.overflowFraction);
+    rows.push_back(support::JsonValue(std::move(row)));
+  }
+
+  support::JsonObject metaObj;
+  for (const auto& [key, value] : meta) {
+    metaObj[key] = support::JsonValue(value);
+  }
+
+  support::JsonObject doc;
+  doc["schema_version"] = support::JsonValue(1.0);
+  doc["bench"] = support::JsonValue(bench);
+  doc["meta"] = support::JsonValue(std::move(metaObj));
+  doc["rows"] = support::JsonValue(std::move(rows));
+  return support::JsonValue(std::move(doc));
+}
+
+bool exportRobustnessJson(const std::string& path, const std::string& bench,
+                          const std::vector<RobustnessOutcome>& outcomes,
+                          const std::map<std::string, std::string>& meta) {
+  return writeJsonDocument(path, robustnessToJson(bench, outcomes, meta));
+}
+
+std::string maybeExportRobustnessCsv(
+    const std::string& name, const std::vector<RobustnessOutcome>& outcomes,
+    bool* error) {
+  if (error != nullptr) *error = false;
+  const std::string path = csvExportPath(name);
+  if (path.empty()) return "";
+  if (!exportRobustnessCsv(path, outcomes)) {
+    if (error != nullptr) *error = true;
+    return "";
+  }
+  return path;
+}
+
+std::string maybeExportRobustnessJson(
+    const std::string& bench, const std::vector<RobustnessOutcome>& outcomes,
+    const std::map<std::string, std::string>& meta, bool* error) {
+  if (error != nullptr) *error = false;
+  const std::string path = jsonExportPath();
+  if (path.empty()) return "";
+  if (!exportRobustnessJson(path, bench, outcomes, meta)) {
+    if (error != nullptr) *error = true;
+    return "";
+  }
+  return path;
+}
+
+}  // namespace dagpm::experiments

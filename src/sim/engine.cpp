@@ -1,0 +1,407 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/subgraph.hpp"
+#include "memory/simulate.hpp"
+#include "quotient/quotient.hpp"
+
+namespace dagpm::sim {
+
+SimPlan prepareSimulation(const graph::Dag& g,
+                          const platform::Cluster& cluster,
+                          const scheduler::ScheduleResult& schedule,
+                          const memory::MemDagOracle& oracle) {
+  SimPlan plan;
+  detail::PlanData& d = plan.data();
+  d.g = &g;
+  d.cluster = &cluster;
+  d.schedule = &schedule;
+
+  const std::size_t numTasks = g.numVertices();
+  const std::size_t numBlocks = schedule.procOfBlock.size();
+  if (!schedule.feasible) {
+    d.error = "schedule is not feasible";
+    return plan;
+  }
+  if (schedule.blockOf.size() != numTasks) {
+    d.error = "schedule covers a different task count than the workflow";
+    return plan;
+  }
+  std::vector<std::vector<graph::VertexId>> members(numBlocks);
+  for (graph::VertexId v = 0; v < numTasks; ++v) {
+    const std::uint32_t b = schedule.blockOf[v];
+    if (b >= numBlocks) {
+      d.error = "task mapped to an out-of-range block";
+      return plan;
+    }
+    members[b].push_back(v);
+  }
+  // Safe to build only now: the quotient constructor indexes blockOf
+  // unchecked.
+  const quotient::QuotientGraph quotient(
+      g, schedule.blockOf, static_cast<std::uint32_t>(numBlocks));
+  if (!quotient.isAcyclic()) {
+    d.error = "quotient graph is cyclic";
+    return plan;
+  }
+
+  d.blocks.resize(numBlocks);
+  std::vector<char> procUsed(cluster.numProcessors(), 0);
+  for (std::uint32_t b = 0; b < numBlocks; ++b) {
+    detail::BlockPlan& bp = d.blocks[b];
+    const platform::ProcessorId p = schedule.procOfBlock[b];
+    if (p == platform::kNoProcessor || p >= cluster.numProcessors()) {
+      d.error = "block mapped to an invalid processor";
+      return plan;
+    }
+    if (procUsed[p] != 0) {
+      d.error = "two blocks share one processor";
+      return plan;
+    }
+    procUsed[p] = 1;
+    bp.proc = p;
+    if (members[b].empty()) {
+      d.error = "schedule contains an empty block";
+      return plan;
+    }
+    bp.order = oracle.bestTraversal(members[b]).order;
+    bp.initialPendingInputs = quotient.node(b).in.size();
+    bp.out.assign(quotient.node(b).out.begin(), quotient.node(b).out.end());
+    // The induced subgraph is built over the traversal order itself, so
+    // local ids coincide with step indices and the identity order can be
+    // fed straight into the ground-truth memory simulation.
+    const graph::SubDag sub = graph::inducedSubgraph(g, bp.order);
+    std::vector<graph::VertexId> identity(bp.order.size());
+    for (graph::VertexId i = 0; i < identity.size(); ++i) identity[i] = i;
+    const memory::SimResult mem = memory::simulateBlockOrder(sub, identity);
+    bp.stepMemory = mem.stepMemory;
+    bp.residentAfter = mem.residentAfter;
+    bp.startResident = mem.startResident;
+  }
+
+  d.remoteInputs.assign(numTasks, 0);
+  for (graph::VertexId v = 0; v < numTasks; ++v) {
+    for (const graph::EdgeId e : g.inEdges(v)) {
+      if (schedule.blockOf[g.edge(e).src] != schedule.blockOf[v]) {
+        ++d.remoteInputs[v];
+      }
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Mutable per-run block state (the immutable part lives in the plan).
+struct BlockRuntime {
+  std::size_t nextStep = 0;       // next order index to start
+  std::size_t done = 0;           // completed tasks
+  std::size_t pendingInputs = 0;  // blocksync: outstanding inbound transfers
+  double barrierTime = 0.0;       // when the last inbound transfer arrived
+};
+
+/// One in-flight transfer on the shared backbone.
+struct Transfer {
+  double remaining = 0.0;  // perturbed volume left to move
+  double total = 0.0;      // perturbed volume at dispatch (for tolerances)
+  double bytes = 0.0;      // unperturbed volume (memory buffering)
+  quotient::BlockId dstBlock = quotient::kNoBlock;
+  graph::VertexId dstTask = graph::kInvalidVertex;  // eager mode only
+};
+
+class Engine {
+ public:
+  Engine(const SimPlan& plan, const SimOptions& options)
+      : plan_(plan.data()),
+        g_(*plan_.g),
+        cluster_(*plan_.cluster),
+        schedule_(*plan_.schedule),
+        opts_(options) {
+    if (opts_.perturbation == nullptr) {
+      fallback_ = makePerturbation({}, cluster_.numProcessors());
+      model_ = fallback_.get();
+    } else {
+      model_ = opts_.perturbation;
+    }
+  }
+
+  SimResult run();
+
+ private:
+  void tryStart(quotient::BlockId b);
+  void completeTask(platform::ProcessorId p);
+  void dispatchEdgeTransfer(graph::EdgeId e);
+  void dispatchBlockTransfer(quotient::BlockId from, quotient::BlockId to,
+                             double cost);
+  void deliver(const Transfer& t);
+  void checkMemory(quotient::BlockId b);
+  void fail(std::string message) {
+    result_.ok = false;
+    result_.error = std::move(message);
+  }
+
+  const detail::PlanData& plan_;
+  const graph::Dag& g_;
+  const platform::Cluster& cluster_;
+  const scheduler::ScheduleResult& schedule_;
+  const SimOptions& opts_;
+  std::unique_ptr<PerturbationModel> fallback_;
+  PerturbationModel* model_ = nullptr;
+
+  std::vector<BlockRuntime> blocks_;
+  std::vector<std::size_t> remoteInputs_;  // eager: outstanding remote inputs
+  std::vector<double> arrivedBytes_;       // eager: buffered bytes per task
+  std::vector<double> readyTime_;          // latest dependency satisfaction
+  std::vector<double> bufferedOnProc_;     // early-arrival bytes per processor
+  std::vector<graph::VertexId> running_;   // per processor; invalid = idle
+  std::vector<double> procFinish_;         // finish time of the running task
+  std::vector<Transfer> transfers_;
+  double now_ = 0.0;
+  std::size_t tasksDone_ = 0;
+  SimResult result_;
+};
+
+void Engine::checkMemory(quotient::BlockId b) {
+  if (!opts_.trackMemory) return;
+  const detail::BlockPlan& bp = plan_.blocks[b];
+  const BlockRuntime& br = blocks_[b];
+  const platform::ProcessorId p = bp.proc;
+  double base = 0.0;
+  if (running_[p] != graph::kInvalidVertex) {
+    base = bp.stepMemory[br.nextStep - 1];  // step of the running task
+  } else {
+    base = br.nextStep == 0 ? bp.startResident
+                            : bp.residentAfter[br.nextStep - 1];
+  }
+  const double used = base + bufferedOnProc_[p];
+  const double limit = cluster_.memory(p);
+  if (used > limit * (1.0 + 1e-12)) {
+    ++result_.memoryOverflows;
+    result_.maxMemoryExcess = std::max(result_.maxMemoryExcess, used - limit);
+  }
+}
+
+void Engine::tryStart(quotient::BlockId b) {
+  const detail::BlockPlan& bp = plan_.blocks[b];
+  BlockRuntime& br = blocks_[b];
+  const platform::ProcessorId p = bp.proc;
+  if (running_[p] != graph::kInvalidVertex) return;
+  if (br.nextStep >= bp.order.size()) return;
+  if (opts_.comm == CommModel::kBlockSynchronous && br.pendingInputs > 0) {
+    return;
+  }
+  const graph::VertexId v = bp.order[br.nextStep];
+  if (opts_.comm == CommModel::kTaskEager && remoteInputs_[v] > 0) return;
+
+  TaskEvent& ev = result_.events[v];
+  ev.block = b;
+  ev.proc = p;
+  ev.ready = std::max(readyTime_[v], br.barrierTime);
+  ev.start = now_;
+  // The task consumes its buffered early arrivals (they become part of the
+  // step's own external-input accounting).
+  bufferedOnProc_[p] -= arrivedBytes_[v];
+  arrivedBytes_[v] = 0.0;
+
+  const double nominal = g_.work(v) / cluster_.speed(p);
+  const double duration = nominal * model_->taskFactor(v, p, now_);
+  running_[p] = v;
+  procFinish_[p] = now_ + duration;
+  ++br.nextStep;
+  checkMemory(b);
+}
+
+void Engine::dispatchEdgeTransfer(graph::EdgeId e) {
+  const graph::Edge& edge = g_.edge(e);
+  ++result_.numTransfers;
+  result_.transferVolume += edge.cost;
+  Transfer t;
+  t.bytes = edge.cost;
+  t.total = edge.cost * model_->transferFactor(e);
+  t.remaining = t.total;
+  t.dstBlock = schedule_.blockOf[edge.dst];
+  t.dstTask = edge.dst;
+  if (t.remaining <= 0.0) {
+    deliver(t);
+  } else {
+    transfers_.push_back(t);
+  }
+}
+
+void Engine::dispatchBlockTransfer(quotient::BlockId from,
+                                   quotient::BlockId to, double cost) {
+  ++result_.numTransfers;
+  result_.transferVolume += cost;
+  Transfer t;
+  t.bytes = cost;
+  t.total = cost * model_->transferFactor(
+                       (static_cast<std::uint64_t>(from) << 32) |
+                       static_cast<std::uint64_t>(to));
+  t.remaining = t.total;
+  t.dstBlock = to;
+  if (t.remaining <= 0.0) {
+    deliver(t);
+  } else {
+    transfers_.push_back(t);
+  }
+}
+
+void Engine::deliver(const Transfer& t) {
+  BlockRuntime& br = blocks_[t.dstBlock];
+  if (t.dstTask != graph::kInvalidVertex) {
+    // Eager mode: one task's remote input arrived; buffer it until the
+    // consumer starts.
+    readyTime_[t.dstTask] = std::max(readyTime_[t.dstTask], now_);
+    arrivedBytes_[t.dstTask] += t.bytes;
+    bufferedOnProc_[plan_.blocks[t.dstBlock].proc] += t.bytes;
+    checkMemory(t.dstBlock);
+    if (--remoteInputs_[t.dstTask] == 0) tryStart(t.dstBlock);
+  } else {
+    br.barrierTime = std::max(br.barrierTime, now_);
+    if (--br.pendingInputs == 0) tryStart(t.dstBlock);
+  }
+}
+
+void Engine::completeTask(platform::ProcessorId p) {
+  const graph::VertexId v = running_[p];
+  const std::uint32_t b = schedule_.blockOf[v];
+  running_[p] = graph::kInvalidVertex;
+  procFinish_[p] = kInf;
+  result_.events[v].finish = now_;
+  result_.makespan = std::max(result_.makespan, now_);
+  ++tasksDone_;
+  BlockRuntime& br = blocks_[b];
+  ++br.done;
+
+  for (const graph::EdgeId e : g_.outEdges(v)) {
+    const graph::VertexId dst = g_.edge(e).dst;
+    if (schedule_.blockOf[dst] == b) {
+      readyTime_[dst] = std::max(readyTime_[dst], now_);
+    } else if (opts_.comm == CommModel::kTaskEager) {
+      dispatchEdgeTransfer(e);
+    }
+  }
+  if (opts_.comm == CommModel::kBlockSynchronous &&
+      br.done == plan_.blocks[b].order.size()) {
+    for (const auto& [succ, cost] : plan_.blocks[b].out) {
+      dispatchBlockTransfer(b, succ, cost);
+    }
+  }
+  tryStart(b);
+}
+
+SimResult Engine::run() {
+  if (!plan_.error.empty()) {
+    fail(plan_.error);
+    return result_;
+  }
+  result_.ok = true;
+  model_->beginRun(opts_.seed);
+
+  const std::size_t numTasks = g_.numVertices();
+  blocks_.assign(plan_.blocks.size(), BlockRuntime{});
+  if (opts_.comm == CommModel::kBlockSynchronous) {
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      blocks_[b].pendingInputs = plan_.blocks[b].initialPendingInputs;
+    }
+    remoteInputs_.assign(numTasks, 0);
+  } else {
+    remoteInputs_ = plan_.remoteInputs;
+  }
+  arrivedBytes_.assign(numTasks, 0.0);
+  readyTime_.assign(numTasks, 0.0);
+  running_.assign(cluster_.numProcessors(), graph::kInvalidVertex);
+  procFinish_.assign(cluster_.numProcessors(), kInf);
+  bufferedOnProc_.assign(cluster_.numProcessors(), 0.0);
+  result_.events.assign(numTasks, TaskEvent{});
+
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) tryStart(b);
+
+  // Each iteration either completes at least one task/transfer or closes an
+  // ulp-sized gap to the next event; the generous cap only catches bugs.
+  const std::size_t maxIterations = 16 + 8 * (numTasks + g_.numEdges());
+  std::size_t iterations = 0;
+  std::vector<std::size_t> done;  // completed-transfer scratch
+  while (tasksDone_ < numTasks) {
+    if (++iterations > maxIterations) {
+      fail("event loop exceeded its iteration budget");
+      return result_;
+    }
+    double dt = kInf;
+    for (platform::ProcessorId p = 0; p < running_.size(); ++p) {
+      if (running_[p] != graph::kInvalidVertex) {
+        dt = std::min(dt, procFinish_[p] - now_);
+      }
+    }
+    const double beta = cluster_.bandwidth();
+    const double rate =
+        transfers_.empty()
+            ? 0.0
+            : (opts_.contention ? beta / static_cast<double>(transfers_.size())
+                                : beta);
+    for (const Transfer& t : transfers_) {
+      dt = std::min(dt, t.remaining / rate);
+    }
+    if (!std::isfinite(dt)) {
+      fail("deadlock: tasks remain but no event is pending "
+           "(unsatisfiable dependency in the schedule)");
+      return result_;
+    }
+    dt = std::max(dt, 0.0);
+    now_ += dt;
+
+    // Advance and deliver transfers first: a task finishing at the same
+    // instant may only depend on data that has fully arrived.
+    done.clear();
+    for (std::size_t i = 0; i < transfers_.size(); ++i) {
+      Transfer& t = transfers_[i];
+      t.remaining -= rate * dt;
+      if (t.remaining <= 1e-12 * (1.0 + t.total)) done.push_back(i);
+    }
+    // Swap-remove back to front keeps the remaining indices valid; the
+    // completed transfers are delivered afterwards so delivery cannot
+    // invalidate the scratch list.
+    std::vector<Transfer> completed;
+    for (std::size_t j = done.size(); j > 0; --j) {
+      const std::size_t i = done[j - 1];
+      completed.push_back(transfers_[i]);
+      transfers_[i] = transfers_.back();
+      transfers_.pop_back();
+    }
+    // Deliver in dispatch order (reversed by the swap-remove above) so the
+    // processing order stays deterministic.
+    std::reverse(completed.begin(), completed.end());
+    for (const Transfer& t : completed) deliver(t);
+
+    for (platform::ProcessorId p = 0; p < running_.size(); ++p) {
+      if (running_[p] != graph::kInvalidVertex &&
+          procFinish_[p] - now_ <= 1e-12 * (1.0 + std::abs(now_))) {
+        completeTask(p);
+      }
+    }
+  }
+  return result_;
+}
+
+}  // namespace
+
+SimResult simulateSchedule(const SimPlan& plan, const SimOptions& options) {
+  Engine engine(plan, options);
+  return engine.run();
+}
+
+SimResult simulateSchedule(const graph::Dag& g,
+                           const platform::Cluster& cluster,
+                           const scheduler::ScheduleResult& schedule,
+                           const memory::MemDagOracle& oracle,
+                           const SimOptions& options) {
+  const SimPlan plan = prepareSimulation(g, cluster, schedule, oracle);
+  return simulateSchedule(plan, options);
+}
+
+}  // namespace dagpm::sim

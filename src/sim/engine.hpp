@@ -1,0 +1,151 @@
+#pragma once
+// Discrete-event execution simulator for DAGP-PM schedules.
+//
+// Executes a scheduler::ScheduleResult on a platform::Cluster at *task*
+// granularity: every task gets ready/start/finish events, each processor runs
+// the tasks of its block one at a time (FIFO) in the memory oracle's
+// traversal order, and cross-processor file transfers move over the shared
+// beta-bandwidth interconnect. Two communication semantics are supported:
+//
+//   kBlockSynchronous  replays the paper's static model Eq. (1)-(2): the
+//                      files a block sends to a successor block leave as one
+//                      aggregated transfer when the whole block finishes, and
+//                      a block starts only after every inbound transfer has
+//                      arrived. With the deterministic perturbation model and
+//                      contention disabled this reproduces computeTimeline's
+//                      makespan exactly (the cross-validation tests assert
+//                      agreement to 1e-9).
+//
+//   kTaskEager         the task-level refinement: each cross-block edge
+//                      becomes its own transfer dispatched when the producing
+//                      *task* finishes, and a task waits only for its own
+//                      inputs. Never slower than kBlockSynchronous under the
+//                      deterministic model; quantifies how conservative the
+//                      static block model is.
+//
+// Contention: when enabled, all in-flight transfers fair-share the single
+// beta backbone (each of n concurrent transfers progresses at beta/n), a
+// fluid-flow model the static, uncontended c/beta term cannot express.
+//
+// Memory: per-step usage follows the oracle's traversal accounting
+// (memory::simulateBlockOrder). In kTaskEager mode, remote inputs that
+// arrive before their consumer starts are additionally buffered on the
+// destination processor — early arrivals can therefore push a processor past
+// its memory size even though the static requirement r_V fits; the simulator
+// counts these overflow episodes instead of failing, which is exactly the
+// robustness signal the Monte-Carlo evaluator aggregates.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "memory/oracle.hpp"
+#include "platform/cluster.hpp"
+#include "quotient/quotient.hpp"
+#include "scheduler/solution.hpp"
+#include "sim/perturbation.hpp"
+
+namespace dagpm::sim {
+
+enum class CommModel { kBlockSynchronous, kTaskEager };
+
+struct SimOptions {
+  CommModel comm = CommModel::kBlockSynchronous;
+  bool contention = false;  // fair-share the beta backbone across transfers
+  bool trackMemory = true;  // per-step memory accounting + overflow counting
+  /// Null = deterministic replay. The engine calls beginRun(seed) itself.
+  PerturbationModel* perturbation = nullptr;
+  std::uint64_t seed = 1;  // run seed handed to the perturbation model
+};
+
+/// Per-task execution record (indexed by vertex id in SimResult::events).
+struct TaskEvent {
+  quotient::BlockId block = quotient::kNoBlock;
+  platform::ProcessorId proc = platform::kNoProcessor;
+  double ready = 0.0;   // all dependencies satisfied (inputs arrived)
+  double start = 0.0;   // execution began (>= ready; FIFO may delay)
+  double finish = 0.0;  // execution completed
+};
+
+struct SimResult {
+  bool ok = false;
+  std::string error;  // empty when ok
+  double makespan = 0.0;
+  std::vector<TaskEvent> events;  // one per task, indexed by vertex id
+  std::size_t numTransfers = 0;   // cross-processor transfers dispatched
+  double transferVolume = 0.0;    // total bytes moved (unperturbed volumes)
+  /// Memory-overflow episodes: task-start or transfer-arrival instants where
+  /// a processor's usage (traversal accounting + early-arrival buffers)
+  /// exceeded its memory size.
+  std::size_t memoryOverflows = 0;
+  double maxMemoryExcess = 0.0;  // worst usage - memory over all episodes
+};
+
+namespace detail {
+/// Perturbation-independent per-block data: traversal order, processor,
+/// aggregated successor transfers, and the oracle-traversal memory profile.
+struct BlockPlan {
+  std::vector<graph::VertexId> order;
+  platform::ProcessorId proc = platform::kNoProcessor;
+  std::size_t initialPendingInputs = 0;  // inbound quotient edges
+  std::vector<std::pair<quotient::BlockId, double>> out;  // summed costs
+  std::vector<double> stepMemory;
+  std::vector<double> residentAfter;
+  double startResident = 0.0;
+};
+
+/// Engine-internal payload of a SimPlan; treat as opaque outside src/sim.
+struct PlanData {
+  const graph::Dag* g = nullptr;
+  const platform::Cluster* cluster = nullptr;
+  const scheduler::ScheduleResult* schedule = nullptr;
+  std::string error;
+  std::vector<BlockPlan> blocks;
+  std::vector<std::size_t> remoteInputs;  // eager mode: remote in-edges/task
+};
+}  // namespace detail
+
+/// Precomputed execution plan for one (workflow, cluster, schedule) triple:
+/// schedule validation, per-block oracle traversals, memory profiles, and
+/// quotient edges. Building the plan is the expensive part of a simulation;
+/// Monte-Carlo loops build it once and replay it under many perturbations.
+/// Holds references to the workflow, cluster and schedule, which must
+/// outlive the plan.
+class SimPlan {
+ public:
+  [[nodiscard]] bool ok() const noexcept { return data_.error.empty(); }
+  [[nodiscard]] const std::string& error() const noexcept {
+    return data_.error;
+  }
+  [[nodiscard]] const detail::PlanData& data() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] detail::PlanData& data() noexcept { return data_; }
+
+ private:
+  detail::PlanData data_;
+};
+
+/// Validates `schedule` (must be feasible and map blocks to pairwise
+/// distinct processors) and precomputes everything the event loop needs.
+/// The oracle provides each block's traversal order — the same order the
+/// static model's r_V is computed from, so simulation and feasibility check
+/// agree on the memory model. A failed plan carries error() and every
+/// simulation from it fails with that message.
+SimPlan prepareSimulation(const graph::Dag& g,
+                          const platform::Cluster& cluster,
+                          const scheduler::ScheduleResult& schedule,
+                          const memory::MemDagOracle& oracle);
+
+/// Replays a prepared plan once under `options`.
+SimResult simulateSchedule(const SimPlan& plan, const SimOptions& options);
+
+/// Convenience: prepare + one replay.
+SimResult simulateSchedule(const graph::Dag& g,
+                           const platform::Cluster& cluster,
+                           const scheduler::ScheduleResult& schedule,
+                           const memory::MemDagOracle& oracle,
+                           const SimOptions& options = {});
+
+}  // namespace dagpm::sim

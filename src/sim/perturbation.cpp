@@ -1,0 +1,147 @@
+#include "sim/perturbation.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/rng.hpp"
+
+namespace dagpm::sim {
+
+std::uint64_t mixSeed(std::uint64_t runSeed, std::uint64_t entity) noexcept {
+  // One SplitMix64 step over a golden-ratio combination; cheap and well
+  // distributed (the same construction the RNG itself uses internally).
+  return support::Rng(runSeed ^ (entity * 0x9e3779b97f4a7c15ULL)).next();
+}
+
+namespace {
+
+/// Standard normal via Box-Muller over the per-entity stream. Two uniforms
+/// are always consumed, so the draw is a pure function of the stream seed.
+double standardNormal(support::Rng& rng) {
+  // u in (0, 1]: avoid log(0).
+  const double u = 1.0 - rng.uniformReal();
+  const double v = rng.uniformReal();
+  return std::sqrt(-2.0 * std::log(u)) *
+         std::cos(2.0 * 3.14159265358979323846 * v);
+}
+
+class DeterministicModel final : public PerturbationModel {
+ public:
+  double taskFactor(graph::VertexId, platform::ProcessorId,
+                    double) const override {
+    return 1.0;
+  }
+};
+
+class LognormalModel final : public PerturbationModel {
+ public:
+  explicit LognormalModel(double sigma) : sigma_(sigma) {}
+
+  double taskFactor(graph::VertexId v, platform::ProcessorId,
+                    double) const override {
+    return sample(static_cast<std::uint64_t>(v));
+  }
+
+  double transferFactor(std::uint64_t transferId) const override {
+    // Offset keeps transfer streams disjoint from task streams.
+    return sample(transferId ^ 0x7fd5c3a96e1b8d42ULL);
+  }
+
+ private:
+  double sample(std::uint64_t entity) const {
+    support::Rng rng(mixSeed(runSeed(), entity));
+    // exp(sigma z - sigma^2/2) has mean exactly 1: noise perturbs but does
+    // not systematically inflate expected work.
+    return std::exp(sigma_ * standardNormal(rng) - 0.5 * sigma_ * sigma_);
+  }
+
+  double sigma_;
+};
+
+class StragglerModel final : public PerturbationModel {
+ public:
+  StragglerModel(double probability, double factor)
+      : probability_(probability), factor_(factor) {}
+
+  double taskFactor(graph::VertexId v, platform::ProcessorId,
+                    double) const override {
+    support::Rng rng(mixSeed(runSeed(), static_cast<std::uint64_t>(v)));
+    return rng.bernoulli(probability_) ? factor_ : 1.0;
+  }
+
+ private:
+  double probability_;
+  double factor_;
+};
+
+class TransientSlowdownModel final : public PerturbationModel {
+ public:
+  TransientSlowdownModel(const PerturbationSpec& spec, std::size_t numProcs)
+      : spec_(spec), numProcs_(numProcs), affected_(numProcs, false) {}
+
+  void beginRun(std::uint64_t runSeed) override {
+    PerturbationModel::beginRun(runSeed);
+    // Draw the affected subset per processor from independent streams so the
+    // selection, too, is order- and thread-count-independent.
+    for (std::size_t p = 0; p < numProcs_; ++p) {
+      support::Rng rng(mixSeed(runSeed ^ 0x51ab3e0cd9274f18ULL,
+                               static_cast<std::uint64_t>(p)));
+      affected_[p] = rng.bernoulli(spec_.slowdownFraction);
+    }
+  }
+
+  double taskFactor(graph::VertexId, platform::ProcessorId p,
+                    double start) const override {
+    if (p >= numProcs_ || !affected_[p]) return 1.0;
+    const bool inWindow = spec_.windowEnd > spec_.windowBegin
+                              ? start >= spec_.windowBegin &&
+                                    start < spec_.windowEnd
+                              : true;  // degenerate window = whole run
+    return inWindow ? spec_.slowdownFactor : 1.0;
+  }
+
+ private:
+  PerturbationSpec spec_;
+  std::size_t numProcs_;
+  std::vector<bool> affected_;
+};
+
+}  // namespace
+
+std::unique_ptr<PerturbationModel> makePerturbation(
+    const PerturbationSpec& spec, std::size_t numProcessors) {
+  switch (spec.kind) {
+    case PerturbationKind::kDeterministic:
+      return std::make_unique<DeterministicModel>();
+    case PerturbationKind::kLognormal:
+      return std::make_unique<LognormalModel>(spec.sigma);
+    case PerturbationKind::kStraggler:
+      return std::make_unique<StragglerModel>(spec.stragglerProbability,
+                                              spec.stragglerFactor);
+    case PerturbationKind::kTransientSlowdown:
+      return std::make_unique<TransientSlowdownModel>(spec, numProcessors);
+  }
+  return std::make_unique<DeterministicModel>();
+}
+
+std::string perturbationName(const PerturbationSpec& spec) {
+  char buf[96];
+  switch (spec.kind) {
+    case PerturbationKind::kDeterministic:
+      return "deterministic";
+    case PerturbationKind::kLognormal:
+      std::snprintf(buf, sizeof buf, "lognormal(%g)", spec.sigma);
+      return buf;
+    case PerturbationKind::kStraggler:
+      std::snprintf(buf, sizeof buf, "straggler(p=%g,x%g)",
+                    spec.stragglerProbability, spec.stragglerFactor);
+      return buf;
+    case PerturbationKind::kTransientSlowdown:
+      std::snprintf(buf, sizeof buf, "slowdown(%g of procs,x%g)",
+                    spec.slowdownFraction, spec.slowdownFactor);
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace dagpm::sim

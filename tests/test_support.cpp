@@ -116,6 +116,19 @@ TEST(Stats, MedianOddAndEven) {
   EXPECT_DOUBLE_EQ(median({}), 0.0);
 }
 
+TEST(Stats, PercentileInterpolatesOrderStatistics) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.95), 7.0);
+  const std::vector<double> v{4.0, 1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), median(v));
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 1.75);
+  // Out-of-range quantiles clamp instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(percentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 4.0);
+}
+
 TEST(Stats, MinMax) {
   const std::vector<double> v{3.0, -1.0, 7.0};
   EXPECT_DOUBLE_EQ(minOf(v), -1.0);

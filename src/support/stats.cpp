@@ -39,6 +39,17 @@ double median(std::vector<double> values) {
   return 0.5 * (values[mid - 1] + values[mid]);
 }
 
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= values.size()) return values.back();
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
 double minOf(std::span<const double> values) {
   assert(!values.empty());
   return *std::min_element(values.begin(), values.end());

@@ -20,6 +20,10 @@ double stddev(std::span<const double> values);
 /// Median (averages the two middle elements for even sizes).
 double median(std::vector<double> values);
 
+/// Quantile q in [0, 1] with linear interpolation between order statistics
+/// (percentile(v, 0.5) == median(v)); returns 0 for an empty vector.
+double percentile(std::vector<double> values, double q);
+
 /// Minimum / maximum; undefined for empty spans (asserts in debug).
 double minOf(std::span<const double> values);
 double maxOf(std::span<const double> values);

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Self-test for compare_bench_json.py (stdlib unittest; wired into ctest).
+
+Exercises the checker the way CI uses it — as a subprocess over fixture
+documents — covering: identical documents, an added row (allowed, noted),
+a removed row (regression), a drifted non-timing column (regression),
+wildly drifted timing columns (ignored), meta/bench mismatches, duplicate
+row keys and malformed input (usage errors).
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "compare_bench_json.py")
+
+BASE_DOC = {
+    "schema_version": 1,
+    "bench": "demo_bench",
+    "meta": {"scale": "quick", "seeds": "1", "sweep": "doubling"},
+    "rows": [
+        {
+            "config": "sigma0.2",
+            "scheduler": "part",
+            "geomean_makespan": 123.25,
+            "mean_seconds": 0.5,
+            "geomean_runtime_ratio": 1.5,
+        },
+        {
+            "config": "sigma0.2",
+            "scheduler": "mem",
+            "geomean_makespan": 150.0,
+            "mean_seconds": 0.25,
+        },
+    ],
+    "overall": {"geomean_makespan": 136.0, "mean_seconds": 0.75},
+}
+
+
+def run_checker(baseline, current, *args):
+    """Writes both documents to temp files and runs the checker on them."""
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "baseline.json")
+        cur_path = os.path.join(tmp, "current.json")
+        for path, doc in ((base_path, baseline), (cur_path, current)):
+            with open(path, "w") as f:
+                if isinstance(doc, str):
+                    f.write(doc)
+                else:
+                    json.dump(doc, f)
+        return subprocess.run(
+            [sys.executable, CHECKER, base_path, cur_path, *args],
+            capture_output=True, text=True)
+
+
+class CompareBenchJsonTest(unittest.TestCase):
+    def test_identical_documents_pass(self):
+        result = run_checker(BASE_DOC, BASE_DOC)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("ok:", result.stdout)
+
+    def test_added_row_is_allowed_but_noted(self):
+        current = copy.deepcopy(BASE_DOC)
+        current["rows"].append({"config": "sigma0.4", "scheduler": "part",
+                                "geomean_makespan": 200.0})
+        result = run_checker(BASE_DOC, current)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("new row", result.stdout)
+
+    def test_removed_row_is_a_regression(self):
+        current = copy.deepcopy(BASE_DOC)
+        del current["rows"][1]
+        result = run_checker(BASE_DOC, current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("missing in current", result.stdout)
+
+    def test_drifted_non_timing_column_is_a_regression(self):
+        current = copy.deepcopy(BASE_DOC)
+        current["rows"][0]["geomean_makespan"] *= 1.01  # way past rtol
+        result = run_checker(BASE_DOC, current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("geomean_makespan", result.stdout)
+
+    def test_drift_within_tolerance_passes(self):
+        current = copy.deepcopy(BASE_DOC)
+        current["rows"][0]["geomean_makespan"] *= 1.0 + 1e-9
+        result = run_checker(BASE_DOC, current, "--rtol", "1e-6")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_timing_columns_are_ignored(self):
+        current = copy.deepcopy(BASE_DOC)
+        current["rows"][0]["mean_seconds"] = 9999.0
+        current["rows"][0]["geomean_runtime_ratio"] = 42.0
+        current["overall"]["mean_seconds"] = 1234.0
+        result = run_checker(BASE_DOC, current)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_overall_drift_is_a_regression(self):
+        current = copy.deepcopy(BASE_DOC)
+        current["overall"]["geomean_makespan"] *= 2.0
+        result = run_checker(BASE_DOC, current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("overall", result.stdout)
+
+    def test_missing_column_is_a_regression(self):
+        current = copy.deepcopy(BASE_DOC)
+        del current["rows"][0]["geomean_makespan"]
+        result = run_checker(BASE_DOC, current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("missing in current", result.stdout)
+
+    def test_bench_name_mismatch_is_a_regression(self):
+        current = copy.deepcopy(BASE_DOC)
+        current["bench"] = "other_bench"
+        result = run_checker(BASE_DOC, current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("bench name mismatch", result.stdout)
+
+    def test_meta_scale_mismatch_is_a_regression(self):
+        current = copy.deepcopy(BASE_DOC)
+        current["meta"]["scale"] = "full"
+        result = run_checker(BASE_DOC, current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("meta.scale mismatch", result.stdout)
+
+    def test_duplicate_row_keys_are_a_usage_error(self):
+        current = copy.deepcopy(BASE_DOC)
+        current["rows"].append(copy.deepcopy(current["rows"][0]))
+        result = run_checker(BASE_DOC, current)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("duplicate", result.stderr)
+
+    def test_malformed_json_is_a_usage_error(self):
+        result = run_checker(BASE_DOC, "{not json")
+        self.assertEqual(result.returncode, 2)
+
+    def test_document_without_rows_is_a_usage_error(self):
+        result = run_checker(BASE_DOC, {"bench": "demo_bench"})
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("no 'rows' array", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

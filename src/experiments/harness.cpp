@@ -248,6 +248,44 @@ std::map<std::string, Aggregate> aggregateBy(
   return result;
 }
 
+void forEachScheduledInstance(
+    const std::vector<Instance>& instances, const platform::Cluster& cluster,
+    const scheduler::DagHetPartConfig& part,
+    const scheduler::DagHetMemConfig& mem, bool parallelInstances,
+    const std::function<void(std::size_t, const Instance&,
+                             const platform::Cluster&,
+                             const scheduler::ScheduleResult&,
+                             const scheduler::ScheduleResult&,
+                             const memory::MemDagOracle&,
+                             const memory::MemDagOracle&)>& consume) {
+  auto runOne = [&](std::size_t i) {
+    const Instance& inst = instances[i];
+    platform::Cluster scaled = cluster;
+    scaled.scaleMemoriesToFit(inst.dag.maxTaskMemoryRequirement());
+    scheduler::DagHetPartConfig pcfg = part;
+    // The instance-level loop already saturates the cores.
+    pcfg.parallelSweep = !parallelInstances;
+    const scheduler::ScheduleResult partSchedule =
+        scheduler::dagHetPart(inst.dag, scaled, pcfg);
+    const scheduler::ScheduleResult memSchedule =
+        scheduler::dagHetMem(inst.dag, scaled, mem);
+    const memory::MemDagOracle partOracle(inst.dag, part.oracle);
+    const memory::MemDagOracle memOracle(inst.dag, mem.oracle);
+    consume(i, inst, scaled, partSchedule, memSchedule, partOracle,
+            memOracle);
+  };
+#ifdef _OPENMP
+  if (parallelInstances) {
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t i = 0; i < instances.size(); ++i) runOne(i);
+  } else {
+    for (std::size_t i = 0; i < instances.size(); ++i) runOne(i);
+  }
+#else
+  for (std::size_t i = 0; i < instances.size(); ++i) runOne(i);
+#endif
+}
+
 std::string defaultCachePath() {
   return support::getEnvOr("DAGPM_CACHE", "dagpm_results.cache");
 }

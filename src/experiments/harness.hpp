@@ -68,6 +68,24 @@ std::vector<RunOutcome> runComparison(const std::vector<Instance>& instances,
                                       const platform::Cluster& cluster,
                                       const RunnerOptions& options);
 
+/// Shared scaffolding of the simulation-driven runners (robustness,
+/// rescheduling): schedules every instance with both algorithms on its
+/// memory-scaled cluster copy (Sec. 5.1.2) and hands the results plus the
+/// matching oracles to `consume`, OpenMP-parallel across instances when
+/// requested (the k' sweep's own parallelism is then disabled). `consume`
+/// runs inside the parallel region — callers write to disjoint,
+/// deterministically laid-out slots instead of sharing state.
+void forEachScheduledInstance(
+    const std::vector<Instance>& instances, const platform::Cluster& cluster,
+    const scheduler::DagHetPartConfig& part,
+    const scheduler::DagHetMemConfig& mem, bool parallelInstances,
+    const std::function<void(std::size_t index, const Instance& instance,
+                             const platform::Cluster& scaled,
+                             const scheduler::ScheduleResult& partSchedule,
+                             const scheduler::ScheduleResult& memSchedule,
+                             const memory::MemDagOracle& partOracle,
+                             const memory::MemDagOracle& memOracle)>& consume);
+
 /// Per-group aggregation (the paper reports geometric means of ratios).
 struct Aggregate {
   int total = 0;

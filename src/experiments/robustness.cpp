@@ -38,57 +38,42 @@ std::vector<RobustnessOutcome> runRobustness(
   std::vector<RobustnessOutcome> slots(instances.size() * numLevels * 2);
   std::vector<char> filled(slots.size(), 0);
 
-  auto runOne = [&](std::size_t i) {
-    const Instance& inst = instances[i];
-    platform::Cluster scaled = cluster;
-    scaled.scaleMemoriesToFit(inst.dag.maxTaskMemoryRequirement());
+  forEachScheduledInstance(
+      instances, cluster, options.part, options.mem,
+      options.parallelInstances,
+      [&](std::size_t i, const Instance& inst,
+          const platform::Cluster& scaled,
+          const scheduler::ScheduleResult& part,
+          const scheduler::ScheduleResult& mem,
+          const memory::MemDagOracle& partOracle,
+          const memory::MemDagOracle& memOracle) {
+        for (std::size_t l = 0; l < numLevels; ++l) {
+          for (int s = 0; s < 2; ++s) {
+            const scheduler::ScheduleResult& schedule = s == 0 ? part : mem;
+            if (!schedule.feasible) continue;
+            const std::size_t slot = (i * numLevels + l) * 2 +
+                                     static_cast<std::size_t>(s);
+            RobustnessOutcome& out = slots[slot];
+            out.config = levels[l].config;
+            out.scheduler = s == 0 ? "part" : "mem";
+            out.instance = inst.name;
+            out.band = inst.band;
+            out.family = inst.family;
+            out.numTasks = inst.numTasks;
 
-    scheduler::DagHetPartConfig pcfg = options.part;
-    pcfg.parallelSweep = !options.parallelInstances;
-    const scheduler::ScheduleResult part =
-        scheduler::dagHetPart(inst.dag, scaled, pcfg);
-    const scheduler::ScheduleResult mem =
-        scheduler::dagHetMem(inst.dag, scaled, options.mem);
-    const memory::MemDagOracle partOracle(inst.dag, options.part.oracle);
-    const memory::MemDagOracle memOracle(inst.dag, options.mem.oracle);
-
-    for (std::size_t l = 0; l < numLevels; ++l) {
-      for (int s = 0; s < 2; ++s) {
-        const scheduler::ScheduleResult& schedule = s == 0 ? part : mem;
-        if (!schedule.feasible) continue;
-        const std::size_t slot = (i * numLevels + l) * 2 +
-                                 static_cast<std::size_t>(s);
-        RobustnessOutcome& out = slots[slot];
-        out.config = levels[l].config;
-        out.scheduler = s == 0 ? "part" : "mem";
-        out.instance = inst.name;
-        out.band = inst.band;
-        out.family = inst.family;
-        out.numTasks = inst.numTasks;
-
-        sim::RobustnessOptions ro = options.robustness;
-        ro.perturbation = levels[l].spec;
-        // The instance-level loop already saturates the cores.
-        ro.parallel = !options.parallelInstances;
-        ro.seed = sim::mixSeed(options.robustness.seed,
-                               static_cast<std::uint64_t>(slot));
-        out.summary = sim::evaluateRobustness(
-            inst.dag, scaled, schedule, s == 0 ? partOracle : memOracle, ro);
-        filled[slot] = 1;
-      }
-    }
-  };
-
-#ifdef _OPENMP
-  if (options.parallelInstances) {
-#pragma omp parallel for schedule(dynamic)
-    for (std::size_t i = 0; i < instances.size(); ++i) runOne(i);
-  } else {
-    for (std::size_t i = 0; i < instances.size(); ++i) runOne(i);
-  }
-#else
-  for (std::size_t i = 0; i < instances.size(); ++i) runOne(i);
-#endif
+            sim::RobustnessOptions ro = options.robustness;
+            ro.perturbation = levels[l].spec;
+            // The instance-level loop already saturates the cores.
+            ro.parallel = !options.parallelInstances;
+            ro.seed = sim::mixSeed(options.robustness.seed,
+                                   static_cast<std::uint64_t>(slot));
+            out.summary = sim::evaluateRobustness(
+                inst.dag, scaled, schedule,
+                s == 0 ? partOracle : memOracle, ro);
+            filled[slot] = 1;
+          }
+        }
+      });
 
   std::vector<RobustnessOutcome> outcomes;
   outcomes.reserve(slots.size());

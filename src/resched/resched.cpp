@@ -1,0 +1,315 @@
+#include "resched/resched.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "quotient/quotient.hpp"
+#include "resched/residual.hpp"
+
+namespace dagpm::resched {
+
+using graph::VertexId;
+
+std::string triggerPolicyName(TriggerPolicy policy) {
+  switch (policy) {
+    case TriggerPolicy::kNone: return "none";
+    case TriggerPolicy::kInterval: return "interval";
+    case TriggerPolicy::kLateness: return "lateness";
+    case TriggerPolicy::kStraggler: return "straggler";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The driver's SimObserver: decides, per task finish, whether to pause.
+/// Predictions are owned by the driver and refreshed after every splice.
+class TriggerObserver final : public sim::SimObserver {
+ public:
+  TriggerObserver(const ReschedulePolicy& policy, double scale,
+                  const std::vector<double>* predictedStart,
+                  const std::vector<double>* predictedFinish)
+      : policy_(policy),
+        scale_(std::max(scale, 1e-12)),
+        predictedStart_(predictedStart),
+        predictedFinish_(predictedFinish),
+        nextDeadline_(policy.intervalFraction * scale_) {}
+
+  void mute(double until) { muteUntil_ = std::max(muteUntil_, until); }
+  [[nodiscard]] VertexId lastTrigger() const noexcept { return lastTrigger_; }
+
+  sim::ObserverAction onTaskFinish(VertexId v, double now) override {
+    if (now < muteUntil_) return sim::ObserverAction::kContinue;
+    switch (policy_.trigger) {
+      case TriggerPolicy::kNone:
+        return sim::ObserverAction::kContinue;
+      case TriggerPolicy::kInterval: {
+        if (now < nextDeadline_) return sim::ObserverAction::kContinue;
+        const double interval =
+            std::max(policy_.intervalFraction * scale_, 1e-12 * scale_);
+        nextDeadline_ = (std::floor(now / interval) + 1.0) * interval;
+        return pauseAt(v);
+      }
+      case TriggerPolicy::kLateness: {
+        const double lateness = now - (*predictedFinish_)[v];
+        return lateness > policy_.latenessThreshold * scale_
+                   ? pauseAt(v)
+                   : sim::ObserverAction::kContinue;
+      }
+      case TriggerPolicy::kStraggler: {
+        const double predictedDuration =
+            (*predictedFinish_)[v] - (*predictedStart_)[v];
+        const double overrun = now - (*predictedFinish_)[v];
+        return overrun > (policy_.stragglerFactor - 1.0) * predictedDuration +
+                             1e-9 * scale_
+                   ? pauseAt(v)
+                   : sim::ObserverAction::kContinue;
+      }
+    }
+    return sim::ObserverAction::kContinue;
+  }
+
+ private:
+  sim::ObserverAction pauseAt(VertexId v) {
+    lastTrigger_ = v;
+    return sim::ObserverAction::kPause;
+  }
+
+  const ReschedulePolicy& policy_;
+  double scale_;
+  const std::vector<double>* predictedStart_;
+  const std::vector<double>* predictedFinish_;
+  double nextDeadline_;
+  double muteUntil_ = 0.0;
+  VertexId lastTrigger_ = graph::kInvalidVertex;
+};
+
+/// Per-processor slowdown estimate from execution history: the ratio of
+/// actual to nominal total duration of the tasks each processor completed.
+/// Clamped to [0.25, 16] so a couple of samples cannot send the projection
+/// off the rails; processors without history estimate 1.
+std::vector<double> estimateProcSlowdown(const graph::Dag& g,
+                                         const platform::Cluster& cluster,
+                                         const sim::SimCheckpoint& ck) {
+  std::vector<double> actual(cluster.numProcessors(), 0.0);
+  std::vector<double> nominal(cluster.numProcessors(), 0.0);
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    if (ck.taskCompleted[v] == 0) continue;
+    const sim::TaskEvent& ev = ck.events[v];
+    if (ev.proc >= cluster.numProcessors()) continue;
+    actual[ev.proc] += ev.finish - ev.start;
+    nominal[ev.proc] += g.work(v) / cluster.speed(ev.proc);
+  }
+  std::vector<double> slowdown(cluster.numProcessors(), 1.0);
+  for (std::size_t p = 0; p < slowdown.size(); ++p) {
+    if (nominal[p] > 0.0) {
+      slowdown[p] = std::clamp(actual[p] / nominal[p], 0.25, 16.0);
+    }
+  }
+  return slowdown;
+}
+
+}  // namespace
+
+RescheduleResult runOnline(const graph::Dag& g,
+                           const platform::Cluster& cluster,
+                           const scheduler::ScheduleResult& schedule,
+                           const memory::MemDagOracle& oracle,
+                           const RescheduleOptions& options) {
+  RescheduleResult result;
+  const ReschedulePolicy& policy = options.policy;
+
+  sim::SimPlan initialPlan = sim::prepareSimulation(g, cluster, schedule,
+                                                    oracle);
+  if (!initialPlan.ok()) {
+    result.error = initialPlan.error();
+    return result;
+  }
+  result.staticMakespan = scheduler::staticMakespan(g, cluster, schedule);
+  const double scale = std::max(result.staticMakespan, 1e-12);
+
+  const std::unique_ptr<sim::PerturbationModel> model =
+      sim::makePerturbation(options.perturbation, cluster.numProcessors());
+  sim::SimOptions base;
+  base.comm = sim::CommModel::kBlockSynchronous;
+  base.contention = options.contention;
+  base.perturbation = model.get();
+  base.seed = options.seed;
+
+  // The no-rescheduling replay: the baseline every policy is measured
+  // against (and the hindsight guard's fallback execution).
+  const sim::SimResult unrepaired = sim::simulateSchedule(initialPlan, base);
+  if (!unrepaired.ok) {
+    result.error = unrepaired.error;
+    return result;
+  }
+  result.unrepairedMakespan = unrepaired.makespan;
+
+  if (policy.trigger == TriggerPolicy::kNone) {
+    result.repairedMakespan = result.finalMakespan = unrepaired.makespan;
+    result.memoryOverflows = unrepaired.memoryOverflows;
+    result.execution = unrepaired;
+    result.finalSchedule = schedule;
+    result.ok = true;
+    return result;
+  }
+
+  // Predictions: the deterministic replay of the current schedule, at task
+  // granularity. Refreshed from the splice point after every repair.
+  sim::SimOptions deterministic = base;
+  deterministic.perturbation = nullptr;
+  std::vector<double> predictedStart(g.numVertices(), 0.0);
+  std::vector<double> predictedFinish(g.numVertices(), 0.0);
+  const auto refreshPredictions = [&](const sim::SimResult& reference) {
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+      predictedStart[v] = reference.events[v].start;
+      predictedFinish[v] = reference.events[v].finish;
+    }
+  };
+  {
+    const sim::SimResult reference =
+        sim::simulateSchedule(initialPlan, deterministic);
+    if (!reference.ok) {
+      result.error = reference.error;
+      return result;
+    }
+    refreshPredictions(reference);
+  }
+
+  TriggerObserver observer(policy, scale, &predictedStart, &predictedFinish);
+
+  // Spliced schedules and their plans must outlive the runs below (plans
+  // hold pointers to their schedule).
+  std::deque<scheduler::ScheduleResult> schedules;
+  std::deque<sim::SimPlan> plans;
+  plans.push_back(std::move(initialPlan));
+  const scheduler::ScheduleResult* currentSchedule = &schedule;
+  sim::SimCheckpoint checkpoint;
+  bool resuming = false;
+  bool observing = true;
+  sim::SimResult run;
+
+  for (;;) {
+    sim::SimOptions opts = base;
+    opts.observer = observing ? &observer : nullptr;
+    opts.resume = resuming ? &checkpoint : nullptr;
+    run = sim::simulateSchedule(plans.back(), opts);
+    if (!run.ok) {
+      result.error = run.error;
+      return result;
+    }
+    if (!run.paused) break;
+
+    ++result.triggersFired;
+    checkpoint = std::move(run.checkpoint);
+    resuming = true;
+    observer.mute(checkpoint.now + policy.cooldownFraction * scale);
+    if (result.reschedulesAccepted >= policy.maxReschedules) {
+      observing = false;
+      continue;
+    }
+    // The trigger that reaches the cap still gets its repair attempt
+    // (maxTriggers = 1 means one attempt, not zero); only further pauses
+    // are disabled.
+    if (result.triggersFired >= policy.maxTriggers) observing = false;
+
+    // Drift gate: while execution tracks the prediction, repairing could
+    // only churn (and would break the zero-noise no-op property).
+    double drift = 0.0;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+      if (checkpoint.taskCompleted[v] != 0) {
+        drift = std::max(drift,
+                         checkpoint.events[v].finish - predictedFinish[v]);
+      }
+    }
+    if (drift <= policy.driftTolerance * scale) continue;
+
+    ResidualState residual =
+        buildResidual(plans.back(), checkpoint, oracle);
+    if (policy.adaptiveSpeedEstimates) {
+      residual.procSlowdown = estimateProcSlowdown(g, cluster, checkpoint);
+    }
+    RepairConfig repairCfg;
+    repairCfg.allowMoves = policy.allowMoves;
+    repairCfg.allowSwaps = policy.allowSwaps;
+    repairCfg.allowMerges = policy.allowMerges;
+    repairCfg.maxRounds = policy.maxRepairRounds;
+    repairCfg.mergeProbeBudget = policy.mergeProbeBudget;
+    repairCfg.minGain = policy.minGain;
+    const RepairResult repair =
+        repairResidual(residual, cluster, oracle, repairCfg);
+
+    RepairRecord record;
+    record.time = checkpoint.now;
+    record.triggerTask = observer.lastTrigger();
+    record.accepted = repair.accepted;
+    record.projectedBefore = repair.projectedBefore;
+    record.projectedAfter = repair.projectedAfter;
+    record.moves = repair.moves;
+    record.swaps = repair.swaps;
+    record.merges = repair.merges;
+    if (!repair.accepted) {
+      ++result.reschedulesRejected;
+      result.repairs.push_back(std::move(record));
+      continue;
+    }
+
+    // Splice the repaired schedule back and resume from it.
+    model->beginRun(options.seed);  // re-send factors draw like dispatches
+    Splice splice =
+        buildSplice(plans.back(), checkpoint, residual, *model);
+    schedules.push_back(std::move(splice.schedule));
+    currentSchedule = &schedules.back();
+    plans.push_back(sim::prepareSimulation(g, cluster, schedules.back(),
+                                           oracle, &splice.hints));
+    if (!plans.back().ok()) {
+      result.error = "spliced schedule rejected by the engine: " +
+                     plans.back().error();
+      return result;
+    }
+    checkpoint = std::move(splice.checkpoint);
+
+    // Refresh predictions with the deterministic resumed projection of the
+    // spliced schedule (also the cross-check for the repair's own
+    // projection — the tests pin their agreement).
+    sim::SimOptions projOpts = deterministic;
+    projOpts.resume = &checkpoint;
+    const sim::SimResult projection =
+        sim::simulateSchedule(plans.back(), projOpts);
+    if (!projection.ok) {
+      result.error = "projection of the spliced schedule failed: " +
+                     projection.error;
+      return result;
+    }
+    refreshPredictions(projection);
+    record.resumedProjection = projection.makespan;
+    record.schedule = schedules.back();
+    record.completedTasksAtSplice = checkpoint.taskCompleted;
+    record.startedTasksAtSplice.assign(g.numVertices(), 0);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+      if (checkpoint.events[v].block != quotient::kNoBlock) {
+        record.startedTasksAtSplice[v] = 1;
+      }
+    }
+    ++result.reschedulesAccepted;
+    result.repairs.push_back(std::move(record));
+  }
+
+  result.repairedMakespan = run.makespan;
+  result.memoryOverflows = run.memoryOverflows;
+  result.execution = std::move(run);
+  result.finalSchedule = *currentSchedule;
+  if (policy.hindsightGuard &&
+      result.unrepairedMakespan < result.repairedMakespan) {
+    result.guardTripped = true;
+    result.finalMakespan = result.unrepairedMakespan;
+  } else {
+    result.finalMakespan = result.repairedMakespan;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace dagpm::resched

@@ -1,0 +1,105 @@
+#pragma once
+// Residual view of a paused block-synchronous execution.
+//
+// When the simulator pauses at a checkpoint, the remaining scheduling
+// problem is no longer the paper's static DAGP-PM instance: some blocks are
+// done (their processors are free again), some are mid-execution (pinned to
+// their processor, their traversal prefix burnt), transfers are in flight,
+// and the running tasks' (perturbed) finish times are known. This module
+// builds that residual problem from a (plan, checkpoint) pair and evaluates
+// candidate repairs with a deterministic projection:
+//
+//   * pinned blocks finish at release + remainingWork / speed (release is
+//     the running task's drawn finish time; block-synchronous blocks execute
+//     contiguously once started);
+//   * freed (unstarted) blocks start when all inputs are in: delivered
+//     inputs at the recorded barrier, in-flight inputs at now + remaining /
+//     beta, inputs from still-live predecessors at pred finish + cost /
+//     beta; moving a freed block invalidates received data, which must be
+//     re-sent from its (completed) producers at full volume;
+//   * makespan = max block finish, floored by the history's latest finish.
+//
+// The projection reproduces the resumed deterministic uncontended simulation
+// exactly (the tests assert agreement to 1e-9), so the repair search in
+// repair.hpp optimizes precisely the quantity the engine will realize when
+// no further noise materializes.
+
+#include <map>
+#include <vector>
+
+#include "memory/oracle.hpp"
+#include "platform/cluster.hpp"
+#include "sim/engine.hpp"
+
+namespace dagpm::resched {
+
+/// An input of a live block produced by an already-completed block.
+struct ResidualInput {
+  quotient::BlockId srcBlock = quotient::kNoBlock;  // completed producer
+  platform::ProcessorId srcProc = platform::kNoProcessor;
+  double fullCost = 0.0;   // unperturbed aggregated volume (re-send size)
+  bool delivered = false;  // already on the destination processor
+  double remaining = 0.0;  // in-flight perturbed volume left (!delivered)
+};
+
+/// One live (not fully executed) block of the residual problem.
+struct ResidualBlock {
+  quotient::BlockId block = quotient::kNoBlock;  // schedule block id
+  platform::ProcessorId origProc = platform::kNoProcessor;
+  platform::ProcessorId proc = platform::kNoProcessor;
+  bool pinned = false;  // a task started: the processor cannot change
+  bool merged = false;  // absorbed another freed block during repair
+  bool alive = true;    // false once absorbed into another block
+  double remainingWork = 0.0;  // total work of not-yet-started tasks
+  double release = 0.0;  // earliest next start on the processor (running
+                         // task's drawn finish for busy pinned blocks)
+  double barrier = 0.0;  // latest delivered-input arrival
+  double memReq = 0.0;   // oracle r_V of the full member set
+  std::vector<graph::VertexId> members;  // all member tasks (incl. done)
+  std::vector<ResidualInput> completedInputs;
+  /// Residual quotient edges to other live blocks, keyed by their index in
+  /// ResidualState::blocks, carrying the aggregated unperturbed volume.
+  std::map<std::size_t, double> preds;
+  std::map<std::size_t, double> succs;
+
+  /// A moved block loses its already-received data (it must be re-sent).
+  [[nodiscard]] bool moved() const noexcept {
+    return merged || proc != origProc;
+  }
+};
+
+struct ResidualState {
+  double now = 0.0;
+  double makespanSoFar = 0.0;
+  std::vector<ResidualBlock> blocks;   // live blocks; check alive
+  /// Schedule block id -> index into `blocks`; -1 for completed blocks.
+  /// Repair keeps absorbed blocks pointing at their absorber.
+  std::vector<int> liveIndexOf;
+  /// Output bytes of completed blocks still leaving each processor (their
+  /// transfers are in flight); a block moving onto such a processor must fit
+  /// beside them.
+  std::vector<double> residentOnProc;
+  std::vector<char> procHostsLive;  // processor currently holds a live block
+  /// Observed per-processor slowdown estimates (> 0; empty or 1.0 = trust
+  /// the nominal speed). The driver fills this from execution history —
+  /// actual vs. nominal durations of the tasks each processor completed —
+  /// which is what lets the repair flee a persistently slow processor
+  /// (transient-slowdown noise) instead of assuming the future is nominal.
+  std::vector<double> procSlowdown;
+};
+
+/// Builds the residual problem of a paused run. The checkpoint must belong
+/// to `plan` (same block ids); `oracle` supplies block memory requirements
+/// (memoized — the plan was built through the same oracle).
+ResidualState buildResidual(const sim::SimPlan& plan,
+                            const sim::SimCheckpoint& checkpoint,
+                            const memory::MemDagOracle& oracle);
+
+/// Deterministic uncontended projection of the residual makespan under the
+/// current (possibly tentatively mutated) assignment. Returns +infinity when
+/// the live-block quotient is cyclic (a repair candidate that must be
+/// rejected).
+double projectResidual(const ResidualState& state,
+                       const platform::Cluster& cluster);
+
+}  // namespace dagpm::resched

@@ -5,8 +5,18 @@
 #include <sstream>
 
 #include "quotient/quotient.hpp"
+#include "quotient/timeline.hpp"
 
 namespace dagpm::scheduler {
+
+double staticMakespan(const graph::Dag& g, const platform::Cluster& cluster,
+                      const ScheduleResult& schedule) {
+  quotient::QuotientGraph q(g, schedule.blockOf, schedule.numBlocks());
+  for (std::uint32_t b = 0; b < schedule.numBlocks(); ++b) {
+    q.setProcessor(b, schedule.procOfBlock[b]);
+  }
+  return quotient::computeTimeline(q, cluster).makespan;
+}
 
 ValidationReport validateSchedule(const graph::Dag& g,
                                   const platform::Cluster& cluster,

@@ -52,4 +52,10 @@ ValidationReport validateSchedule(const graph::Dag& g,
                                   const memory::MemDagOracle& oracle,
                                   const ScheduleResult& schedule);
 
+/// Static Eq. (1)-(2) forward-pass makespan of a schedule, recomputed from
+/// its quotient (not read from schedule.makespan). No feasibility checking;
+/// blockOf labels must be in range.
+double staticMakespan(const graph::Dag& g, const platform::Cluster& cluster,
+                      const ScheduleResult& schedule);
+
 }  // namespace dagpm::scheduler

@@ -13,7 +13,8 @@ namespace dagpm::sim {
 SimPlan prepareSimulation(const graph::Dag& g,
                           const platform::Cluster& cluster,
                           const scheduler::ScheduleResult& schedule,
-                          const memory::MemDagOracle& oracle) {
+                          const memory::MemDagOracle& oracle,
+                          const PlanHints* hints) {
   SimPlan plan;
   detail::PlanData& d = plan.data();
   d.g = &g;
@@ -48,6 +49,18 @@ SimPlan prepareSimulation(const graph::Dag& g,
     return plan;
   }
 
+  const auto isCompleted = [hints](std::uint32_t b) {
+    return hints != nullptr && b < hints->completedBlock.size() &&
+           hints->completedBlock[b] != 0;
+  };
+  if (hints != nullptr) {
+    for (const char c : hints->completedBlock) {
+      if (c != 0) {
+        d.resumeOnly = true;
+        break;
+      }
+    }
+  }
   d.blocks.resize(numBlocks);
   std::vector<char> procUsed(cluster.numProcessors(), 0);
   for (std::uint32_t b = 0; b < numBlocks; ++b) {
@@ -57,19 +70,42 @@ SimPlan prepareSimulation(const graph::Dag& g,
       d.error = "block mapped to an invalid processor";
       return plan;
     }
-    if (procUsed[p] != 0) {
-      d.error = "two blocks share one processor";
-      return plan;
+    // Blocks already fully executed at resume time do not occupy their
+    // processor anymore; only live blocks compete for it.
+    if (!isCompleted(b)) {
+      if (procUsed[p] != 0) {
+        d.error = "two blocks share one processor";
+        return plan;
+      }
+      procUsed[p] = 1;
     }
-    procUsed[p] = 1;
     bp.proc = p;
     if (members[b].empty()) {
       d.error = "schedule contains an empty block";
       return plan;
     }
-    bp.order = oracle.bestTraversal(members[b]).order;
+    if (hints != nullptr && b < hints->forcedOrder.size() &&
+        !hints->forcedOrder[b].empty()) {
+      bp.order = hints->forcedOrder[b];
+      // The forced order must be a permutation of the block's members — the
+      // memory profile below silently degrades otherwise.
+      std::vector<graph::VertexId> a = bp.order;
+      std::vector<graph::VertexId> m = members[b];
+      std::sort(a.begin(), a.end());
+      std::sort(m.begin(), m.end());
+      if (a != m) {
+        d.error = "forced traversal order does not match the block members";
+        return plan;
+      }
+    } else {
+      bp.order = oracle.bestTraversal(members[b]).order;
+    }
     bp.initialPendingInputs = quotient.node(b).in.size();
     bp.out.assign(quotient.node(b).out.begin(), quotient.node(b).out.end());
+    // A block already fully executed at resume time never starts a task, so
+    // its memory profile would never be consulted; skip the subgraph and
+    // memory simulation (late-run splices have mostly completed blocks).
+    if (isCompleted(b)) continue;
     // The induced subgraph is built over the traversal order itself, so
     // local ids coincide with step indices and the identity order can be
     // fed straight into the ground-truth memory simulation.
@@ -97,22 +133,9 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Mutable per-run block state (the immutable part lives in the plan).
-struct BlockRuntime {
-  std::size_t nextStep = 0;       // next order index to start
-  std::size_t done = 0;           // completed tasks
-  std::size_t pendingInputs = 0;  // blocksync: outstanding inbound transfers
-  double barrierTime = 0.0;       // when the last inbound transfer arrived
-};
-
-/// One in-flight transfer on the shared backbone.
-struct Transfer {
-  double remaining = 0.0;  // perturbed volume left to move
-  double total = 0.0;      // perturbed volume at dispatch (for tolerances)
-  double bytes = 0.0;      // unperturbed volume (memory buffering)
-  quotient::BlockId dstBlock = quotient::kNoBlock;
-  graph::VertexId dstTask = graph::kInvalidVertex;  // eager mode only
-};
+// The engine's mutable per-block and per-transfer runtime state ARE the
+// public checkpoint structs (BlockState, TransferState): capture and resume
+// are then plain vector copies with no field-order-sensitive conversions.
 
 class Engine {
  public:
@@ -138,8 +161,10 @@ class Engine {
   void dispatchEdgeTransfer(graph::EdgeId e);
   void dispatchBlockTransfer(quotient::BlockId from, quotient::BlockId to,
                              double cost);
-  void deliver(const Transfer& t);
+  void deliver(const TransferState& t);
   void checkMemory(quotient::BlockId b);
+  bool loadCheckpoint(const SimCheckpoint& ck);
+  void capture(SimCheckpoint& ck) const;
   void fail(std::string message) {
     result_.ok = false;
     result_.error = std::move(message);
@@ -153,14 +178,15 @@ class Engine {
   std::unique_ptr<PerturbationModel> fallback_;
   PerturbationModel* model_ = nullptr;
 
-  std::vector<BlockRuntime> blocks_;
+  std::vector<BlockState> blocks_;
   std::vector<std::size_t> remoteInputs_;  // eager: outstanding remote inputs
   std::vector<double> arrivedBytes_;       // eager: buffered bytes per task
   std::vector<double> readyTime_;          // latest dependency satisfaction
   std::vector<double> bufferedOnProc_;     // early-arrival bytes per processor
   std::vector<graph::VertexId> running_;   // per processor; invalid = idle
   std::vector<double> procFinish_;         // finish time of the running task
-  std::vector<Transfer> transfers_;
+  std::vector<TransferState> transfers_;
+  std::vector<char> taskDone_;             // per task; checkpoint bookkeeping
   double now_ = 0.0;
   std::size_t tasksDone_ = 0;
   SimResult result_;
@@ -169,7 +195,7 @@ class Engine {
 void Engine::checkMemory(quotient::BlockId b) {
   if (!opts_.trackMemory) return;
   const detail::BlockPlan& bp = plan_.blocks[b];
-  const BlockRuntime& br = blocks_[b];
+  const BlockState& br = blocks_[b];
   const platform::ProcessorId p = bp.proc;
   double base = 0.0;
   if (running_[p] != graph::kInvalidVertex) {
@@ -188,7 +214,7 @@ void Engine::checkMemory(quotient::BlockId b) {
 
 void Engine::tryStart(quotient::BlockId b) {
   const detail::BlockPlan& bp = plan_.blocks[b];
-  BlockRuntime& br = blocks_[b];
+  BlockState& br = blocks_[b];
   const platform::ProcessorId p = bp.proc;
   if (running_[p] != graph::kInvalidVertex) return;
   if (br.nextStep >= bp.order.size()) return;
@@ -220,10 +246,11 @@ void Engine::dispatchEdgeTransfer(graph::EdgeId e) {
   const graph::Edge& edge = g_.edge(e);
   ++result_.numTransfers;
   result_.transferVolume += edge.cost;
-  Transfer t;
+  TransferState t;
   t.bytes = edge.cost;
   t.total = edge.cost * model_->transferFactor(e);
   t.remaining = t.total;
+  t.srcBlock = schedule_.blockOf[edge.src];
   t.dstBlock = schedule_.blockOf[edge.dst];
   t.dstTask = edge.dst;
   if (t.remaining <= 0.0) {
@@ -237,12 +264,13 @@ void Engine::dispatchBlockTransfer(quotient::BlockId from,
                                    quotient::BlockId to, double cost) {
   ++result_.numTransfers;
   result_.transferVolume += cost;
-  Transfer t;
+  TransferState t;
   t.bytes = cost;
   t.total = cost * model_->transferFactor(
                        (static_cast<std::uint64_t>(from) << 32) |
                        static_cast<std::uint64_t>(to));
   t.remaining = t.total;
+  t.srcBlock = from;
   t.dstBlock = to;
   if (t.remaining <= 0.0) {
     deliver(t);
@@ -251,8 +279,8 @@ void Engine::dispatchBlockTransfer(quotient::BlockId from,
   }
 }
 
-void Engine::deliver(const Transfer& t) {
-  BlockRuntime& br = blocks_[t.dstBlock];
+void Engine::deliver(const TransferState& t) {
+  BlockState& br = blocks_[t.dstBlock];
   if (t.dstTask != graph::kInvalidVertex) {
     // Eager mode: one task's remote input arrived; buffer it until the
     // consumer starts.
@@ -274,8 +302,9 @@ void Engine::completeTask(platform::ProcessorId p) {
   procFinish_[p] = kInf;
   result_.events[v].finish = now_;
   result_.makespan = std::max(result_.makespan, now_);
+  taskDone_[v] = 1;
   ++tasksDone_;
-  BlockRuntime& br = blocks_[b];
+  BlockState& br = blocks_[b];
   ++br.done;
 
   for (const graph::EdgeId e : g_.outEdges(v)) {
@@ -295,16 +324,99 @@ void Engine::completeTask(platform::ProcessorId p) {
   tryStart(b);
 }
 
+bool Engine::loadCheckpoint(const SimCheckpoint& ck) {
+  const std::size_t numTasks = g_.numVertices();
+  if (ck.blocks.size() != plan_.blocks.size() ||
+      ck.taskCompleted.size() != numTasks || ck.events.size() != numTasks) {
+    fail("resume checkpoint does not match the plan");
+    return false;
+  }
+  if (ck.readyTime.size() != numTasks) {
+    fail("resume checkpoint does not match the plan");
+    return false;
+  }
+  now_ = ck.now;
+  tasksDone_ = ck.tasksDone;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const BlockState& s = ck.blocks[b];
+    if (s.nextStep > plan_.blocks[b].order.size() || s.done > s.nextStep) {
+      fail("resume checkpoint has inconsistent block progress");
+      return false;
+    }
+  }
+  blocks_ = ck.blocks;
+  for (const RunningTaskState& r : ck.running) {
+    if (r.proc >= running_.size() || r.task >= numTasks ||
+        running_[r.proc] != graph::kInvalidVertex) {
+      fail("resume checkpoint has an invalid running task");
+      return false;
+    }
+    running_[r.proc] = r.task;
+    procFinish_[r.proc] = r.finish;
+  }
+  for (const TransferState& t : ck.transfers) {
+    if (t.srcBlock >= blocks_.size() || t.dstBlock >= blocks_.size()) {
+      fail("resume checkpoint has a transfer to an unknown block");
+      return false;
+    }
+  }
+  transfers_ = ck.transfers;
+  taskDone_ = ck.taskCompleted;
+  readyTime_ = ck.readyTime;
+  result_.events = ck.events;
+  result_.makespan = ck.makespanSoFar;
+  result_.numTransfers = ck.numTransfers;
+  result_.transferVolume = ck.transferVolume;
+  result_.memoryOverflows = ck.memoryOverflows;
+  result_.maxMemoryExcess = ck.maxMemoryExcess;
+  return true;
+}
+
+void Engine::capture(SimCheckpoint& ck) const {
+  ck.now = now_;
+  ck.tasksDone = tasksDone_;
+  ck.blocks = blocks_;
+  ck.running.clear();
+  for (platform::ProcessorId p = 0; p < running_.size(); ++p) {
+    if (running_[p] != graph::kInvalidVertex) {
+      ck.running.push_back({p, running_[p], procFinish_[p]});
+    }
+  }
+  ck.transfers = transfers_;
+  ck.taskCompleted = taskDone_;
+  ck.readyTime = readyTime_;
+  ck.events = result_.events;
+  ck.makespanSoFar = result_.makespan;
+  ck.numTransfers = result_.numTransfers;
+  ck.transferVolume = result_.transferVolume;
+  ck.memoryOverflows = result_.memoryOverflows;
+  ck.maxMemoryExcess = result_.maxMemoryExcess;
+}
+
 SimResult Engine::run() {
   if (!plan_.error.empty()) {
     fail(plan_.error);
+    return result_;
+  }
+  if ((opts_.observer != nullptr || opts_.resume != nullptr) &&
+      opts_.comm != CommModel::kBlockSynchronous) {
+    fail("observers and checkpoint resume require the block-synchronous "
+         "model");
+    return result_;
+  }
+  // A plan whose hints marked blocks as already executed relaxed the
+  // distinct-processor rule; executing it from t=0 would quietly serialize
+  // the sharing blocks instead of erroring.
+  if (plan_.resumeOnly && opts_.resume == nullptr) {
+    fail("plan was built with completed-block hints and can only resume "
+         "from a checkpoint");
     return result_;
   }
   result_.ok = true;
   model_->beginRun(opts_.seed);
 
   const std::size_t numTasks = g_.numVertices();
-  blocks_.assign(plan_.blocks.size(), BlockRuntime{});
+  blocks_.assign(plan_.blocks.size(), BlockState{});
   if (opts_.comm == CommModel::kBlockSynchronous) {
     for (std::size_t b = 0; b < blocks_.size(); ++b) {
       blocks_[b].pendingInputs = plan_.blocks[b].initialPendingInputs;
@@ -318,7 +430,11 @@ SimResult Engine::run() {
   running_.assign(cluster_.numProcessors(), graph::kInvalidVertex);
   procFinish_.assign(cluster_.numProcessors(), kInf);
   bufferedOnProc_.assign(cluster_.numProcessors(), 0.0);
+  taskDone_.assign(numTasks, 0);
   result_.events.assign(numTasks, TaskEvent{});
+  if (opts_.resume != nullptr && !loadCheckpoint(*opts_.resume)) {
+    return result_;
+  }
 
   for (std::uint32_t b = 0; b < blocks_.size(); ++b) tryStart(b);
 
@@ -344,7 +460,7 @@ SimResult Engine::run() {
             ? 0.0
             : (opts_.contention ? beta / static_cast<double>(transfers_.size())
                                 : beta);
-    for (const Transfer& t : transfers_) {
+    for (const TransferState& t : transfers_) {
       dt = std::min(dt, t.remaining / rate);
     }
     if (!std::isfinite(dt)) {
@@ -359,14 +475,14 @@ SimResult Engine::run() {
     // instant may only depend on data that has fully arrived.
     done.clear();
     for (std::size_t i = 0; i < transfers_.size(); ++i) {
-      Transfer& t = transfers_[i];
+      TransferState& t = transfers_[i];
       t.remaining -= rate * dt;
       if (t.remaining <= 1e-12 * (1.0 + t.total)) done.push_back(i);
     }
     // Swap-remove back to front keeps the remaining indices valid; the
     // completed transfers are delivered afterwards so delivery cannot
     // invalidate the scratch list.
-    std::vector<Transfer> completed;
+    std::vector<TransferState> completed;
     for (std::size_t j = done.size(); j > 0; --j) {
       const std::size_t i = done[j - 1];
       completed.push_back(transfers_[i]);
@@ -376,12 +492,25 @@ SimResult Engine::run() {
     // Deliver in dispatch order (reversed by the swap-remove above) so the
     // processing order stays deterministic.
     std::reverse(completed.begin(), completed.end());
-    for (const Transfer& t : completed) deliver(t);
+    for (const TransferState& t : completed) deliver(t);
 
     for (platform::ProcessorId p = 0; p < running_.size(); ++p) {
       if (running_[p] != graph::kInvalidVertex &&
           procFinish_[p] - now_ <= 1e-12 * (1.0 + std::abs(now_))) {
+        const graph::VertexId v = running_[p];
         completeTask(p);
+        // The observer sees every completion, including the last one (the
+        // contract in engine.hpp); only a pause after the final task is
+        // meaningless and ignored. Pausing mid-instant is fine: processors
+        // whose task also finishes at `now_` stay running with finish ==
+        // now_ and complete first thing after resume.
+        if (opts_.observer != nullptr &&
+            opts_.observer->onTaskFinish(v, now_) == ObserverAction::kPause &&
+            tasksDone_ < numTasks) {
+          result_.paused = true;
+          capture(result_.checkpoint);
+          return result_;
+        }
       }
     }
   }

@@ -34,6 +34,13 @@
 // its memory size even though the static requirement r_V fits; the simulator
 // counts these overflow episodes instead of failing, which is exactly the
 // robustness signal the Monte-Carlo evaluator aggregates.
+//
+// Observation / checkpoint / resume: a SimObserver may pause a block-
+// synchronous run at any task-finish event; the result then carries a
+// SimCheckpoint (completed tasks, per-block progress, running tasks with
+// their drawn finish times, in-flight transfers) from which the run resumes
+// bit-identically — or, after the online rescheduler (src/resched) repaired
+// the remaining schedule, against a new plan built with PlanHints.
 
 #include <cstdint>
 #include <string>
@@ -50,15 +57,6 @@ namespace dagpm::sim {
 
 enum class CommModel { kBlockSynchronous, kTaskEager };
 
-struct SimOptions {
-  CommModel comm = CommModel::kBlockSynchronous;
-  bool contention = false;  // fair-share the beta backbone across transfers
-  bool trackMemory = true;  // per-step memory accounting + overflow counting
-  /// Null = deterministic replay. The engine calls beginRun(seed) itself.
-  PerturbationModel* perturbation = nullptr;
-  std::uint64_t seed = 1;  // run seed handed to the perturbation model
-};
-
 /// Per-task execution record (indexed by vertex id in SimResult::events).
 struct TaskEvent {
   quotient::BlockId block = quotient::kNoBlock;
@@ -68,9 +66,93 @@ struct TaskEvent {
   double finish = 0.0;  // execution completed
 };
 
+/// Decision returned by SimObserver::onTaskFinish.
+enum class ObserverAction { kContinue, kPause };
+
+/// Execution observer: the hook the online rescheduler (src/resched) builds
+/// on. The engine reports every task completion; returning kPause stops the
+/// event loop at that instant and the SimResult carries a SimCheckpoint of
+/// the full in-flight state, from which the run can later be resumed —
+/// against the same plan, or against a repaired (re-scheduled) one whose
+/// checkpoint was adapted by the rescheduler. Observation and resumption are
+/// supported for the block-synchronous model only (the model rescheduling
+/// repairs); kTaskEager runs reject them.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  /// Called right after task `v` completed at simulated time `now` (its
+  /// block may have dispatched transfers and started its next task already).
+  virtual ObserverAction onTaskFinish(graph::VertexId v, double now) = 0;
+};
+
+/// Mutable per-block execution state, exposed for checkpoint/resume.
+struct BlockState {
+  std::size_t nextStep = 0;       // next traversal index to start
+  std::size_t done = 0;           // completed tasks of the block
+  std::size_t pendingInputs = 0;  // outstanding inbound block transfers
+  double barrierTime = 0.0;       // when the last inbound transfer arrived
+};
+
+/// A task executing at checkpoint time; it keeps its drawn finish time.
+struct RunningTaskState {
+  platform::ProcessorId proc = platform::kNoProcessor;
+  graph::VertexId task = graph::kInvalidVertex;
+  double finish = 0.0;
+};
+
+/// One in-flight transfer on the shared backbone at checkpoint time.
+struct TransferState {
+  double remaining = 0.0;  // perturbed volume left to move
+  double total = 0.0;      // perturbed volume at dispatch
+  double bytes = 0.0;      // unperturbed volume
+  quotient::BlockId srcBlock = quotient::kNoBlock;
+  quotient::BlockId dstBlock = quotient::kNoBlock;
+  graph::VertexId dstTask = graph::kInvalidVertex;  // eager mode only
+};
+
+/// Complete in-flight state of a paused block-synchronous run. Block ids
+/// index the plan the checkpoint was captured from; the rescheduler
+/// translates them when it splices a repaired schedule (src/resched).
+struct SimCheckpoint {
+  double now = 0.0;
+  std::size_t tasksDone = 0;
+  std::vector<BlockState> blocks;         // indexed by block id
+  std::vector<RunningTaskState> running;  // tasks in flight at `now`
+  std::vector<TransferState> transfers;   // transfers in flight at `now`
+  std::vector<char> taskCompleted;        // indexed by vertex id
+  std::vector<double> readyTime;          // per task; event-record bookkeeping
+  std::vector<TaskEvent> events;          // records of started/completed tasks
+  // Result counters accumulated so far, carried into the resumed run.
+  double makespanSoFar = 0.0;
+  std::size_t numTransfers = 0;
+  double transferVolume = 0.0;
+  std::size_t memoryOverflows = 0;
+  double maxMemoryExcess = 0.0;
+};
+
+struct SimOptions {
+  CommModel comm = CommModel::kBlockSynchronous;
+  bool contention = false;  // fair-share the beta backbone across transfers
+  bool trackMemory = true;  // per-step memory accounting + overflow counting
+  /// Null = deterministic replay. The engine calls beginRun(seed) itself.
+  PerturbationModel* perturbation = nullptr;
+  std::uint64_t seed = 1;  // run seed handed to the perturbation model
+  /// Non-null: the engine reports task completions and may be paused
+  /// (block-synchronous runs only).
+  SimObserver* observer = nullptr;
+  /// Non-null: start from this checkpoint instead of time 0. The checkpoint
+  /// must match the plan (block count, task count) — typically it was
+  /// captured from this plan, or adapted to it by the rescheduler.
+  const SimCheckpoint* resume = nullptr;
+};
+
 struct SimResult {
   bool ok = false;
   std::string error;  // empty when ok
+  /// True when a SimObserver paused the run before completion; `checkpoint`
+  /// then holds the in-flight state and `makespan` the latest finish so far.
+  bool paused = false;
+  SimCheckpoint checkpoint;  // populated only when paused
   double makespan = 0.0;
   std::vector<TaskEvent> events;  // one per task, indexed by vertex id
   std::size_t numTransfers = 0;   // cross-processor transfers dispatched
@@ -103,6 +185,10 @@ struct PlanData {
   std::string error;
   std::vector<BlockPlan> blocks;
   std::vector<std::size_t> remoteInputs;  // eager mode: remote in-edges/task
+  /// Built with PlanHints::completedBlock: the distinct-processor rule was
+  /// relaxed for blocks that only make sense as already-executed history,
+  /// so this plan can only be simulated from a matching checkpoint.
+  bool resumeOnly = false;
 };
 }  // namespace detail
 
@@ -127,6 +213,22 @@ class SimPlan {
   detail::PlanData data_;
 };
 
+/// Optional construction hints for plans of *resumed* (mid-execution)
+/// schedules, produced by the rescheduler's splice step (src/resched):
+///   * completedBlock — blocks already fully executed at resume time are
+///     exempt from the pairwise-distinct-processor rule, so a repaired
+///     schedule may reuse the processor a finished block ran on (the static
+///     model forbids this, which is one reason online repair can win);
+///   * forcedOrder — exact traversal order (a permutation of the block's
+///     members) to use instead of asking the oracle; a partially executed
+///     block must keep the order its checkpoint's step indices refer to.
+/// Both vectors are indexed by block id and may be shorter than the block
+/// count (missing entries = no hint).
+struct PlanHints {
+  std::vector<char> completedBlock;
+  std::vector<std::vector<graph::VertexId>> forcedOrder;
+};
+
 /// Validates `schedule` (must be feasible and map blocks to pairwise
 /// distinct processors) and precomputes everything the event loop needs.
 /// The oracle provides each block's traversal order — the same order the
@@ -136,7 +238,8 @@ class SimPlan {
 SimPlan prepareSimulation(const graph::Dag& g,
                           const platform::Cluster& cluster,
                           const scheduler::ScheduleResult& schedule,
-                          const memory::MemDagOracle& oracle);
+                          const memory::MemDagOracle& oracle,
+                          const PlanHints* hints = nullptr);
 
 /// Replays a prepared plan once under `options`.
 SimResult simulateSchedule(const SimPlan& plan, const SimOptions& options);

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "quotient/quotient.hpp"
-#include "quotient/timeline.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
@@ -29,14 +27,7 @@ RobustnessSummary evaluateRobustness(const graph::Dag& g,
   }
 
   // Static Eq. (1)-(2) prediction, recomputed from the schedule.
-  quotient::QuotientGraph q(
-      g, schedule.blockOf,
-      static_cast<std::uint32_t>(schedule.procOfBlock.size()));
-  for (std::uint32_t b = 0; b < schedule.procOfBlock.size(); ++b) {
-    q.setProcessor(b, schedule.procOfBlock[b]);
-  }
-  summary.staticMakespan =
-      quotient::computeTimeline(q, cluster).makespan;
+  summary.staticMakespan = scheduler::staticMakespan(g, cluster, schedule);
 
   if (summary.replications == 0) {
     summary.ok = true;

@@ -7,14 +7,19 @@
 #include <cstdlib>
 #include <numeric>
 
+#include <cmath>
+
 #include "graph/generators.hpp"
 #include "graph/topology.hpp"
 #include "memory/oracle.hpp"
 #include "partition/partitioner.hpp"
 #include "quotient/quotient.hpp"
+#include "quotient/timeline.hpp"
+#include "resched/resched.hpp"
 #include "scheduler/daghetmem.hpp"
 #include "scheduler/daghetpart.hpp"
 #include "scheduler/solution.hpp"
+#include "sim/engine.hpp"
 #include "support/rng.hpp"
 #include "test_util.hpp"
 
@@ -186,6 +191,86 @@ TEST_P(PipelineFuzz, RandomInstancesAlwaysValidOrInfeasible) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
                          testing::ValuesIn(fuzzSeeds(32)));
+
+/// Differential harness for the rescheduling splice: fuzzed instances on a
+/// memory-tight cluster (so schedules are genuinely multi-block), the
+/// block-synchronous replay chopped up by observer pauses and mid-run
+/// splices, cross-validated against quotient::computeTimeline (via
+/// scheduler::staticMakespan).
+using SpliceCase = test::ScheduledFuzzCase;
+
+SpliceCase makeSpliceCase(std::uint64_t seed) {
+  return test::makeTightFuzzCase(seed * 131 + 17, seed);
+}
+
+class SpliceFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpliceFuzz, ChoppedDeterministicReplayMatchesComputeTimeline) {
+  const SpliceCase sc = makeSpliceCase(GetParam());
+  const memory::MemDagOracle oracle(sc.dag);
+  int checked = 0;
+  for (const scheduler::ScheduleResult* schedule : {&sc.part, &sc.mem}) {
+    if (!schedule->feasible) continue;
+    ++checked;
+    const double expected =
+        scheduler::staticMakespan(sc.dag, sc.cluster, *schedule);
+    const sim::SimPlan plan =
+        sim::prepareSimulation(sc.dag, sc.cluster, *schedule, oracle);
+    ASSERT_TRUE(plan.ok()) << plan.error();
+    test::PauseEveryNthFinish pacer(2);
+    sim::SimOptions opts;
+    opts.observer = &pacer;
+    sim::SimCheckpoint checkpoint;
+    sim::SimResult run = sim::simulateSchedule(plan, opts);
+    while (run.ok && run.paused) {
+      checkpoint = std::move(run.checkpoint);
+      opts.resume = &checkpoint;
+      run = sim::simulateSchedule(plan, opts);
+    }
+    ASSERT_TRUE(run.ok) << run.error;
+    EXPECT_NEAR(run.makespan, expected, 1e-9 * std::max(1.0, expected))
+        << "seed " << GetParam();
+  }
+  if (checked == 0) GTEST_SKIP() << "no feasible schedule";
+}
+
+TEST_P(SpliceFuzz, ForcedSplicesStayConsistentWithTheStaticModel) {
+  const SpliceCase sc = makeSpliceCase(GetParam());
+  const memory::MemDagOracle oracle(sc.dag);
+  for (const scheduler::ScheduleResult* schedule : {&sc.part, &sc.mem}) {
+    if (!schedule->feasible) continue;
+    const double expected =
+        scheduler::staticMakespan(sc.dag, sc.cluster, *schedule);
+    // Deterministic execution with forced repair attempts: every splice's
+    // residual projection must be realized exactly (no noise), so the final
+    // makespan equals the last accepted projection and never exceeds the
+    // static Eq. (1)-(2) prediction.
+    resched::RescheduleOptions options;
+    options.policy.trigger = resched::TriggerPolicy::kInterval;
+    options.policy.intervalFraction = 0.2;
+    options.policy.driftTolerance = -1.0;
+    options.policy.minGain = 1e-6;
+    options.policy.hindsightGuard = false;
+    const resched::RescheduleResult run =
+        resched::runOnline(sc.dag, sc.cluster, *schedule, oracle, options);
+    ASSERT_TRUE(run.ok) << run.error;
+    const double tol = 1e-9 * std::max(1.0, expected);
+    EXPECT_NEAR(run.unrepairedMakespan, expected, tol);
+    EXPECT_LE(run.finalMakespan, expected + tol);
+    double lastProjection = expected;
+    for (const resched::RepairRecord& repair : run.repairs) {
+      if (!repair.accepted) continue;
+      EXPECT_NEAR(repair.resumedProjection, repair.projectedAfter,
+                  1e-9 * std::max(1.0, repair.projectedAfter));
+      lastProjection = repair.resumedProjection;
+    }
+    EXPECT_NEAR(run.finalMakespan, lastProjection,
+                1e-9 * std::max(1.0, lastProjection));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpliceFuzz,
+                         testing::ValuesIn(fuzzSeeds(16)));
 
 }  // namespace
 }  // namespace dagpm

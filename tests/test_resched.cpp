@@ -1,0 +1,524 @@
+// Online rescheduling tests: engine pause/resume transparency, the
+// zero-noise no-op property, realized-makespan monotonicity under the
+// hindsight guard, residual/splice validity (no executed task reassigned,
+// memory respected, quotient acyclic), projection/simulation agreement, and
+// bit-reproducibility across OpenMP thread counts.
+
+#include <gtest/gtest.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "experiments/resched.hpp"
+#include "memory/oracle.hpp"
+#include "platform/cluster.hpp"
+#include "quotient/quotient.hpp"
+#include "quotient/timeline.hpp"
+#include "resched/repair.hpp"
+#include "resched/resched.hpp"
+#include "resched/residual.hpp"
+#include "scheduler/daghetmem.hpp"
+#include "scheduler/daghetpart.hpp"
+#include "sim/engine.hpp"
+#include "test_util.hpp"
+
+namespace dagpm {
+namespace {
+
+using graph::VertexId;
+using scheduler::ScheduleResult;
+using scheduler::staticMakespan;
+using test::PauseEveryNthFinish;
+
+using FuzzCase = test::ScheduledFuzzCase;
+
+FuzzCase makeFuzzCase(std::uint64_t seed) {
+  return test::makeTightFuzzCase(seed, seed);
+}
+
+class ReschedFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReschedFuzz, PauseResumeIsSeamlessUnderNoise) {
+  const FuzzCase fc = makeFuzzCase(GetParam());
+  const memory::MemDagOracle oracle(fc.dag);
+  for (const ScheduleResult* schedule : {&fc.part, &fc.mem}) {
+    if (!schedule->feasible) continue;
+    const sim::SimPlan plan =
+        sim::prepareSimulation(fc.dag, fc.cluster, *schedule, oracle);
+    ASSERT_TRUE(plan.ok()) << plan.error();
+
+    sim::PerturbationSpec spec;
+    spec.kind = sim::PerturbationKind::kLognormal;
+    spec.sigma = 0.3;
+    const auto model =
+        sim::makePerturbation(spec, fc.cluster.numProcessors());
+    sim::SimOptions opts;
+    opts.perturbation = model.get();
+    opts.seed = GetParam() * 17 + 3;
+    const sim::SimResult whole = sim::simulateSchedule(plan, opts);
+    ASSERT_TRUE(whole.ok) << whole.error;
+
+    // The same run chopped into pause/resume pieces must be bit-identical:
+    // perturbation streams are per-entity and the checkpoint is complete.
+    PauseEveryNthFinish pacer(3);
+    sim::SimOptions paced = opts;
+    paced.observer = &pacer;
+    sim::SimCheckpoint checkpoint;
+    sim::SimResult pieces = sim::simulateSchedule(plan, paced);
+    int pauses = 0;
+    while (pieces.ok && pieces.paused) {
+      ++pauses;
+      checkpoint = std::move(pieces.checkpoint);
+      paced.resume = &checkpoint;
+      pieces = sim::simulateSchedule(plan, paced);
+    }
+    ASSERT_TRUE(pieces.ok) << pieces.error;
+    EXPECT_GT(pauses, 0);
+    EXPECT_EQ(pieces.makespan, whole.makespan);
+    EXPECT_EQ(pieces.numTransfers, whole.numTransfers);
+    ASSERT_EQ(pieces.events.size(), whole.events.size());
+    for (VertexId v = 0; v < fc.dag.numVertices(); ++v) {
+      EXPECT_EQ(pieces.events[v].start, whole.events[v].start) << "task " << v;
+      EXPECT_EQ(pieces.events[v].finish, whole.events[v].finish)
+          << "task " << v;
+      EXPECT_EQ(pieces.events[v].ready, whole.events[v].ready) << "task " << v;
+    }
+  }
+}
+
+TEST_P(ReschedFuzz, ZeroNoiseIsAnExactNoOpForEveryPolicy) {
+  const FuzzCase fc = makeFuzzCase(GetParam());
+  const memory::MemDagOracle oracle(fc.dag);
+  for (const ScheduleResult* schedule : {&fc.part, &fc.mem}) {
+    if (!schedule->feasible) continue;
+    const double expected = staticMakespan(fc.dag, fc.cluster, *schedule);
+    for (const resched::TriggerPolicy trigger :
+         {resched::TriggerPolicy::kNone, resched::TriggerPolicy::kInterval,
+          resched::TriggerPolicy::kLateness,
+          resched::TriggerPolicy::kStraggler}) {
+      resched::RescheduleOptions options;
+      options.policy.trigger = trigger;
+      const resched::RescheduleResult run = resched::runOnline(
+          fc.dag, fc.cluster, *schedule, oracle, options);
+      ASSERT_TRUE(run.ok) << run.error;
+      EXPECT_EQ(run.reschedulesAccepted, 0)
+          << resched::triggerPolicyName(trigger);
+      EXPECT_FALSE(run.guardTripped);
+      const double tol = 1e-9 * std::max(1.0, expected);
+      EXPECT_NEAR(run.unrepairedMakespan, expected, tol);
+      EXPECT_NEAR(run.repairedMakespan, expected, tol);
+      EXPECT_NEAR(run.finalMakespan, expected, tol);
+    }
+  }
+}
+
+TEST_P(ReschedFuzz, ForcedRepairsAtZeroNoiseNeverWorsen) {
+  const FuzzCase fc = makeFuzzCase(GetParam());
+  if (!fc.part.feasible) GTEST_SKIP() << "infeasible instance";
+  const memory::MemDagOracle oracle(fc.dag);
+  const double expected = staticMakespan(fc.dag, fc.cluster, fc.part);
+
+  // Force repair attempts through the drift gate: under zero noise realized
+  // equals projected, so any accepted splice must strictly improve and the
+  // final makespan can only drop below the static prediction.
+  resched::RescheduleOptions options;
+  options.policy.trigger = resched::TriggerPolicy::kInterval;
+  options.policy.intervalFraction = 0.15;
+  options.policy.driftTolerance = -1.0;
+  options.policy.minGain = 1e-6;
+  options.policy.hindsightGuard = false;
+  const resched::RescheduleResult run =
+      resched::runOnline(fc.dag, fc.cluster, fc.part, oracle, options);
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_LE(run.finalMakespan, expected * (1.0 + 1e-9));
+  for (const resched::RepairRecord& repair : run.repairs) {
+    if (!repair.accepted) continue;
+    EXPECT_LT(repair.projectedAfter, repair.projectedBefore);
+    // The repair's residual projection and the engine's deterministic
+    // resumed replay are two computations of the same quantity.
+    EXPECT_NEAR(repair.resumedProjection, repair.projectedAfter,
+                1e-9 * std::max(1.0, repair.projectedAfter));
+  }
+  if (!run.repairs.empty() && run.repairs.back().accepted) {
+    EXPECT_NEAR(run.repairedMakespan, run.repairs.back().resumedProjection,
+                1e-9 * std::max(1.0, run.repairedMakespan));
+  }
+}
+
+TEST_P(ReschedFuzz, GuardedMakespanIsMonotoneUnderLognormalNoise) {
+  const FuzzCase fc = makeFuzzCase(GetParam());
+  const memory::MemDagOracle oracle(fc.dag);
+  for (const ScheduleResult* schedule : {&fc.part, &fc.mem}) {
+    if (!schedule->feasible) continue;
+    resched::RescheduleOptions options;
+    options.policy.trigger = resched::TriggerPolicy::kLateness;
+    options.policy.latenessThreshold = 0.02;
+    options.policy.minGain = 0.002;
+    options.perturbation.kind = sim::PerturbationKind::kLognormal;
+    options.perturbation.sigma = 0.4;
+    options.seed = GetParam() * 1009 + 7;
+    const resched::RescheduleResult run = resched::runOnline(
+        fc.dag, fc.cluster, *schedule, oracle, options);
+    ASSERT_TRUE(run.ok) << run.error;
+    // The hindsight guard reports min(repaired, unrepaired): monotone on
+    // every seed by construction, and the bookkeeping must agree.
+    EXPECT_LE(run.finalMakespan,
+              run.unrepairedMakespan * (1.0 + 1e-12) + 1e-12);
+    EXPECT_EQ(run.finalMakespan,
+              std::min(run.repairedMakespan, run.unrepairedMakespan));
+    EXPECT_EQ(run.guardTripped,
+              run.unrepairedMakespan < run.repairedMakespan);
+  }
+}
+
+/// Splice validity: executed work never moves, memory and acyclicity hold.
+TEST_P(ReschedFuzz, SplicedSchedulesAreValidResiduals) {
+  const FuzzCase fc = makeFuzzCase(GetParam());
+  if (!fc.part.feasible) GTEST_SKIP() << "infeasible instance";
+  const memory::MemDagOracle oracle(fc.dag);
+  resched::RescheduleOptions options;
+  options.policy.trigger = resched::TriggerPolicy::kLateness;
+  options.policy.latenessThreshold = 0.01;
+  options.policy.driftTolerance = 0.0;
+  options.policy.minGain = 1e-6;
+  options.policy.maxReschedules = 16;
+  options.perturbation.kind = sim::PerturbationKind::kLognormal;
+  options.perturbation.sigma = 0.5;
+  options.seed = GetParam() ^ 0x5bd1e995u;
+  const resched::RescheduleResult run =
+      resched::runOnline(fc.dag, fc.cluster, fc.part, oracle, options);
+  ASSERT_TRUE(run.ok) << run.error;
+
+  const ScheduleResult* previous = &fc.part;
+  for (const resched::RepairRecord& repair : run.repairs) {
+    if (!repair.accepted) continue;
+    const ScheduleResult& spliced = repair.schedule;
+    ASSERT_EQ(spliced.blockOf.size(), fc.dag.numVertices());
+    ASSERT_GT(spliced.numBlocks(), 0u);
+
+    // (a) Started (a fortiori completed) tasks keep their processor, and
+    // started tasks stay grouped exactly as before.
+    std::map<std::uint32_t, std::uint32_t> blockImage;
+    for (VertexId v = 0; v < fc.dag.numVertices(); ++v) {
+      if (repair.startedTasksAtSplice[v] == 0) continue;
+      const std::uint32_t oldBlock = previous->blockOf[v];
+      const std::uint32_t newBlock = spliced.blockOf[v];
+      EXPECT_EQ(spliced.procOfBlock[newBlock],
+                previous->procOfBlock[oldBlock])
+          << "task " << v << " moved processors after starting";
+      const auto [it, fresh] = blockImage.try_emplace(oldBlock, newBlock);
+      EXPECT_EQ(it->second, newBlock)
+          << "started block " << oldBlock << " was torn apart";
+    }
+
+    // (b) Live blocks (some task not yet started) sit on pairwise distinct
+    // processors and respect their processor's memory.
+    std::map<std::uint32_t, std::vector<VertexId>> members;
+    std::map<std::uint32_t, bool> live;
+    for (VertexId v = 0; v < fc.dag.numVertices(); ++v) {
+      members[spliced.blockOf[v]].push_back(v);
+      if (repair.startedTasksAtSplice[v] == 0) live[spliced.blockOf[v]] = true;
+    }
+    std::map<platform::ProcessorId, int> liveOnProc;
+    for (const auto& [block, blockMembers] : members) {
+      if (live.find(block) == live.end()) continue;
+      const platform::ProcessorId proc = spliced.procOfBlock[block];
+      ++liveOnProc[proc];
+      EXPECT_LE(oracle.blockRequirement(blockMembers),
+                fc.cluster.memory(proc) * (1.0 + 1e-9))
+          << "block " << block << " exceeds processor " << proc;
+    }
+    for (const auto& [proc, count] : liveOnProc) {
+      EXPECT_EQ(count, 1) << "two live blocks share processor " << proc;
+    }
+
+    // (c) The full quotient of the spliced schedule stays acyclic.
+    const quotient::QuotientGraph q(fc.dag, spliced.blockOf,
+                                    spliced.numBlocks());
+    EXPECT_TRUE(q.isAcyclic());
+
+    previous = &spliced;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReschedFuzz,
+                         testing::Range<std::uint64_t>(1, 11));
+
+TEST(ReschedEngine, ObserverAndResumeRejectedInEagerMode) {
+  const FuzzCase fc = makeFuzzCase(2);
+  ASSERT_TRUE(fc.part.feasible || fc.mem.feasible);
+  const ScheduleResult& schedule = fc.part.feasible ? fc.part : fc.mem;
+  const memory::MemDagOracle oracle(fc.dag);
+  PauseEveryNthFinish pacer(1);
+  sim::SimOptions opts;
+  opts.comm = sim::CommModel::kTaskEager;
+  opts.observer = &pacer;
+  const sim::SimResult run =
+      sim::simulateSchedule(fc.dag, fc.cluster, schedule, oracle, opts);
+  EXPECT_FALSE(run.ok);
+  EXPECT_NE(run.error.find("block-synchronous"), std::string::npos);
+}
+
+TEST(ReschedEngine, CheckpointStateIsConsistent) {
+  const FuzzCase fc = makeFuzzCase(4);
+  ASSERT_TRUE(fc.part.feasible || fc.mem.feasible);
+  const ScheduleResult& schedule = fc.part.feasible ? fc.part : fc.mem;
+  const memory::MemDagOracle oracle(fc.dag);
+  const sim::SimPlan plan =
+      sim::prepareSimulation(fc.dag, fc.cluster, schedule, oracle);
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  PauseEveryNthFinish pacer(2);
+  sim::SimOptions opts;
+  opts.observer = &pacer;
+  const sim::SimResult run = sim::simulateSchedule(plan, opts);
+  ASSERT_TRUE(run.ok) << run.error;
+  ASSERT_TRUE(run.paused);
+  const sim::SimCheckpoint& ck = run.checkpoint;
+  std::size_t completed = 0;
+  for (const char c : ck.taskCompleted) completed += c != 0 ? 1 : 0;
+  EXPECT_EQ(completed, ck.tasksDone);
+  EXPECT_EQ(ck.blocks.size(), schedule.numBlocks());
+  std::size_t doneAcrossBlocks = 0;
+  for (const sim::BlockState& bs : ck.blocks) {
+    EXPECT_LE(bs.done, bs.nextStep);
+    doneAcrossBlocks += bs.done;
+  }
+  EXPECT_EQ(doneAcrossBlocks, ck.tasksDone);
+  for (const sim::RunningTaskState& r : ck.running) {
+    EXPECT_LT(r.proc, fc.cluster.numProcessors());
+    EXPECT_LT(r.task, fc.dag.numVertices());
+    EXPECT_GE(r.finish, ck.now);
+    EXPECT_EQ(ck.taskCompleted[r.task], 0);
+  }
+  EXPECT_LE(ck.makespanSoFar, ck.now + 1e-12);
+}
+
+TEST(ReschedEngine, ResumeRejectsMismatchedCheckpoint) {
+  const FuzzCase fc = makeFuzzCase(5);
+  ASSERT_TRUE(fc.part.feasible || fc.mem.feasible);
+  const ScheduleResult& schedule = fc.part.feasible ? fc.part : fc.mem;
+  const memory::MemDagOracle oracle(fc.dag);
+  const sim::SimPlan plan =
+      sim::prepareSimulation(fc.dag, fc.cluster, schedule, oracle);
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  sim::SimCheckpoint bogus;  // empty: wrong block/task counts
+  sim::SimOptions opts;
+  opts.resume = &bogus;
+  const sim::SimResult run = sim::simulateSchedule(plan, opts);
+  EXPECT_FALSE(run.ok);
+  EXPECT_NE(run.error.find("checkpoint"), std::string::npos);
+}
+
+TEST(ReschedEngine, ObserverSeesEveryTaskFinishIncludingTheLast) {
+  const FuzzCase fc = makeFuzzCase(2);
+  ASSERT_TRUE(fc.part.feasible || fc.mem.feasible);
+  const ScheduleResult& schedule = fc.part.feasible ? fc.part : fc.mem;
+  const memory::MemDagOracle oracle(fc.dag);
+  class Counter final : public sim::SimObserver {
+   public:
+    sim::ObserverAction onTaskFinish(VertexId, double) override {
+      ++count;
+      return sim::ObserverAction::kContinue;
+    }
+    std::size_t count = 0;
+  } counter;
+  sim::SimOptions opts;
+  opts.observer = &counter;
+  const sim::SimResult run =
+      sim::simulateSchedule(fc.dag, fc.cluster, schedule, oracle, opts);
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(counter.count, fc.dag.numVertices());
+
+  // A pause requested after the final task is meaningless and ignored.
+  PauseEveryNthFinish always(1);
+  opts.observer = &always;
+  sim::SimCheckpoint checkpoint;
+  sim::SimResult paced =
+      sim::simulateSchedule(fc.dag, fc.cluster, schedule, oracle, opts);
+  const sim::SimPlan plan =
+      sim::prepareSimulation(fc.dag, fc.cluster, schedule, oracle);
+  while (paced.ok && paced.paused) {
+    checkpoint = std::move(paced.checkpoint);
+    opts.resume = &checkpoint;
+    paced = sim::simulateSchedule(plan, opts);
+  }
+  ASSERT_TRUE(paced.ok) << paced.error;
+  EXPECT_EQ(paced.makespan, run.makespan);
+}
+
+TEST(Resched, SingleTriggerBudgetStillAttemptsARepair) {
+  const FuzzCase fc = makeFuzzCase(2);
+  if (!fc.part.feasible) GTEST_SKIP() << "infeasible instance";
+  const memory::MemDagOracle oracle(fc.dag);
+  resched::RescheduleOptions options;
+  options.policy.trigger = resched::TriggerPolicy::kInterval;
+  options.policy.driftTolerance = -1.0;  // force the attempt through
+  options.policy.maxTriggers = 1;
+  const resched::RescheduleResult run =
+      resched::runOnline(fc.dag, fc.cluster, fc.part, oracle, options);
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(run.triggersFired, 1);
+  // maxTriggers = 1 means one repair attempt, not zero: the pause that
+  // reaches the cap must still be spent on a repair.
+  EXPECT_EQ(run.repairs.size(), 1u);
+}
+
+TEST(ReschedEngine, HintedPlanRefusesToRunWithoutACheckpoint) {
+  const FuzzCase fc = makeFuzzCase(3);
+  ASSERT_TRUE(fc.part.feasible || fc.mem.feasible);
+  const ScheduleResult& schedule = fc.part.feasible ? fc.part : fc.mem;
+  const memory::MemDagOracle oracle(fc.dag);
+  // Completed-block hints relax the distinct-processor rule; running such a
+  // plan from t=0 would silently re-execute history, so it must error.
+  sim::PlanHints hints;
+  hints.completedBlock.assign(schedule.numBlocks(), 0);
+  hints.completedBlock[0] = 1;
+  const sim::SimPlan plan =
+      sim::prepareSimulation(fc.dag, fc.cluster, schedule, oracle, &hints);
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  const sim::SimResult run = sim::simulateSchedule(plan, sim::SimOptions{});
+  EXPECT_FALSE(run.ok);
+  EXPECT_NE(run.error.find("resume"), std::string::npos);
+}
+
+TEST(ReschedEngine, ResumeRejectsTransferWithUnknownSourceBlock) {
+  const FuzzCase fc = makeFuzzCase(4);
+  ASSERT_TRUE(fc.part.feasible || fc.mem.feasible);
+  const ScheduleResult& schedule = fc.part.feasible ? fc.part : fc.mem;
+  const memory::MemDagOracle oracle(fc.dag);
+  const sim::SimPlan plan =
+      sim::prepareSimulation(fc.dag, fc.cluster, schedule, oracle);
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  PauseEveryNthFinish pacer(2);
+  sim::SimOptions opts;
+  opts.observer = &pacer;
+  sim::SimResult run = sim::simulateSchedule(plan, opts);
+  ASSERT_TRUE(run.ok) << run.error;
+  ASSERT_TRUE(run.paused);
+  // An untranslated (stale) source block id must be caught at load time,
+  // not crash buildResidual's processor lookup later.
+  sim::SimCheckpoint corrupted = run.checkpoint;
+  corrupted.transfers.push_back(
+      {1.0, 1.0, 1.0, quotient::kNoBlock, 0, graph::kInvalidVertex});
+  sim::SimOptions resumeOpts;
+  resumeOpts.resume = &corrupted;
+  const sim::SimResult resumed = sim::simulateSchedule(plan, resumeOpts);
+  EXPECT_FALSE(resumed.ok);
+  EXPECT_NE(resumed.error.find("transfer"), std::string::npos);
+}
+
+TEST(ReschedEngine, ForcedOrderMustMatchBlockMembers) {
+  const FuzzCase fc = makeFuzzCase(6);
+  ASSERT_TRUE(fc.part.feasible || fc.mem.feasible);
+  const ScheduleResult& schedule = fc.part.feasible ? fc.part : fc.mem;
+  const memory::MemDagOracle oracle(fc.dag);
+  sim::PlanHints hints;
+  hints.forcedOrder.resize(1);
+  hints.forcedOrder[0] = {0};  // almost surely not block 0's member set
+  const sim::SimPlan plan =
+      sim::prepareSimulation(fc.dag, fc.cluster, schedule, oracle, &hints);
+  if (!plan.ok()) {
+    EXPECT_NE(plan.error().find("forced traversal"), std::string::npos);
+  }
+}
+
+TEST(Resched, RepairsEngageSomewhereAcrossSeeds) {
+  // Not every small instance offers an improving repair, but across a seed
+  // sweep the machinery must demonstrably engage.
+  int accepted = 0;
+  for (std::uint64_t seed = 1; seed <= 10 && accepted == 0; ++seed) {
+    const FuzzCase fc = makeFuzzCase(seed);
+    if (!fc.part.feasible) continue;
+    const memory::MemDagOracle oracle(fc.dag);
+    resched::RescheduleOptions options;
+    options.policy.trigger = resched::TriggerPolicy::kLateness;
+    options.policy.latenessThreshold = 0.01;
+    options.policy.driftTolerance = 0.0;
+    options.policy.minGain = 1e-6;
+    options.perturbation.kind = sim::PerturbationKind::kLognormal;
+    options.perturbation.sigma = 0.5;
+    options.seed = seed * 31 + 5;
+    const resched::RescheduleResult run =
+        resched::runOnline(fc.dag, fc.cluster, fc.part, oracle, options);
+    ASSERT_TRUE(run.ok) << run.error;
+    accepted += run.reschedulesAccepted;
+  }
+  EXPECT_GT(accepted, 0);
+}
+
+TEST(Resched, RunnerIsBitReproducibleAcrossThreadCounts) {
+  std::vector<experiments::Instance> instances;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    experiments::Instance inst;
+    inst.name = "fuzz-" + std::to_string(seed);
+    inst.band = workflows::SizeBand::kSmall;
+    inst.family = "fuzz";
+    inst.dag = test::randomLayeredDag(7, 4, 3, seed);
+    inst.numTasks = static_cast<int>(inst.dag.numVertices());
+    instances.push_back(std::move(inst));
+  }
+  const platform::Cluster cluster =
+      platform::makeCluster(platform::Heterogeneity::kDefault, 1);
+  const std::vector<experiments::NoiseLevel> levels =
+      experiments::lognormalLadder({0.3});
+  experiments::ReschedulingRunnerOptions options;
+  options.replications = 4;
+  options.seed = 77;
+
+  auto runWithThreads = [&](int threads) {
+#ifdef _OPENMP
+    const int before = omp_get_max_threads();
+    omp_set_num_threads(threads);
+    const auto outcomes =
+        experiments::runRescheduling(instances, cluster, levels, options);
+    omp_set_num_threads(before);
+#else
+    (void)threads;
+    const auto outcomes =
+        experiments::runRescheduling(instances, cluster, levels, options);
+#endif
+    return outcomes;
+  };
+
+  const auto one = runWithThreads(1);
+  const auto four = runWithThreads(4);
+  ASSERT_EQ(one.size(), four.size());
+  ASSERT_FALSE(one.empty());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].config, four[i].config);
+    EXPECT_EQ(one[i].policy, four[i].policy);
+    EXPECT_EQ(one[i].scheduler, four[i].scheduler);
+    EXPECT_EQ(one[i].instance, four[i].instance);
+    ASSERT_EQ(one[i].finalMakespans.size(), four[i].finalMakespans.size());
+    for (std::size_t r = 0; r < one[i].finalMakespans.size(); ++r) {
+      // Bitwise equality: per-replication seeds are fixed up front and each
+      // online run is single-threaded.
+      EXPECT_EQ(one[i].finalMakespans[r], four[i].finalMakespans[r])
+          << one[i].instance << " replication " << r;
+      EXPECT_EQ(one[i].unrepairedMakespans[r], four[i].unrepairedMakespans[r]);
+    }
+  }
+}
+
+TEST(Resched, PolicyLadderAndNames) {
+  const auto policies = experiments::defaultPolicyLadder();
+  ASSERT_EQ(policies.size(), 3u);
+  EXPECT_EQ(policies[0].name, "none");
+  EXPECT_EQ(policies[1].name, "interval");
+  EXPECT_EQ(policies[2].name, "lateness");
+  EXPECT_EQ(resched::triggerPolicyName(resched::TriggerPolicy::kStraggler),
+            "straggler");
+  const auto levels = experiments::stragglerLadder({0.0, 0.2}, 4.0);
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0].config, "deterministic");
+  EXPECT_EQ(levels[1].config, "straggler0.2x4");
+  EXPECT_EQ(levels[1].spec.kind, sim::PerturbationKind::kStraggler);
+}
+
+}  // namespace
+}  // namespace dagpm

@@ -28,16 +28,7 @@ namespace dagpm {
 namespace {
 
 using scheduler::ScheduleResult;
-
-/// Static forward-pass makespan of a schedule (the paper's model).
-double staticMakespan(const graph::Dag& g, const platform::Cluster& cluster,
-                      const ScheduleResult& schedule) {
-  quotient::QuotientGraph q(g, schedule.blockOf, schedule.numBlocks());
-  for (std::uint32_t b = 0; b < schedule.numBlocks(); ++b) {
-    q.setProcessor(b, schedule.procOfBlock[b]);
-  }
-  return quotient::computeTimeline(q, cluster).makespan;
-}
+using scheduler::staticMakespan;
 
 /// Schedules a fuzzed DAG on a small default cluster; both algorithms.
 struct FuzzCase {

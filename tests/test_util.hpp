@@ -12,6 +12,10 @@
 #include "graph/subgraph.hpp"
 #include "graph/topology.hpp"
 #include "memory/simulate.hpp"
+#include "platform/cluster.hpp"
+#include "scheduler/daghetmem.hpp"
+#include "scheduler/daghetpart.hpp"
+#include "sim/engine.hpp"
 
 namespace dagpm::test {
 
@@ -74,5 +78,50 @@ inline graph::SubDag wholeDagAsSub(const graph::Dag& g) {
   for (graph::VertexId v = 0; v < g.numVertices(); ++v) all[v] = v;
   return graph::inducedSubgraph(g, all);
 }
+
+/// A fuzzed workflow scheduled by both algorithms on a memory-tight
+/// heterogeneous 6-processor cluster. On roomy clusters the schedulers put
+/// small fuzz workflows into one block, which pins the moment it starts and
+/// leaves the online rescheduler nothing to repair; tight memories force
+/// genuinely partitioned multi-block schedules — the paper's regime, and
+/// the one the resched/splice tests need to exercise.
+struct ScheduledFuzzCase {
+  graph::Dag dag;
+  platform::Cluster cluster;
+  scheduler::ScheduleResult part;
+  scheduler::ScheduleResult mem;
+};
+
+inline ScheduledFuzzCase makeTightFuzzCase(std::uint64_t dagSeed,
+                                           std::uint64_t schedulerSeed) {
+  ScheduledFuzzCase fc;
+  fc.dag = randomLayeredDag(8, 5, 3, dagSeed);
+  const double mem = fc.dag.maxTaskMemoryRequirement() * 1.5;
+  std::vector<platform::Processor> procs;
+  for (int p = 0; p < 6; ++p) {
+    procs.push_back({"p" + std::to_string(p), 1.0 + 0.5 * (p % 3),
+                     mem * (1.0 + 0.2 * (p % 2))});
+  }
+  fc.cluster = platform::Cluster(std::move(procs), 2.0);
+  scheduler::DagHetPartConfig cfg;
+  cfg.seed = schedulerSeed;
+  fc.part = scheduler::dagHetPart(fc.dag, fc.cluster, cfg);
+  fc.mem = scheduler::dagHetMem(fc.dag, fc.cluster, {});
+  return fc;
+}
+
+/// SimObserver pausing the engine at every `period`-th task finish.
+class PauseEveryNthFinish final : public sim::SimObserver {
+ public:
+  explicit PauseEveryNthFinish(int period) : period_(period) {}
+  sim::ObserverAction onTaskFinish(graph::VertexId, double) override {
+    return ++count_ % period_ == 0 ? sim::ObserverAction::kPause
+                                   : sim::ObserverAction::kContinue;
+  }
+
+ private:
+  int period_;
+  int count_ = 0;
+};
 
 }  // namespace dagpm::test

@@ -72,6 +72,17 @@ def main():
     try:
         with open(args.baseline) as f:
             base = json.load(f)
+    except FileNotFoundError:
+        # The common first-run / renamed-bench mistake deserves the exact
+        # remedy, not a stack of JSON plumbing.
+        print(f"error: baseline '{args.baseline}' does not exist; "
+              "record it with bench/record_baselines.sh "
+              "(then commit the new file)", file=sys.stderr)
+        return 2
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    try:
         with open(args.current) as f:
             cur = json.load(f)
     except (OSError, json.JSONDecodeError) as err:

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Cross-run diff of two Google-Benchmark JSON documents (micro_components).
+
+Matches kernels by benchmark name, compares ``real_time`` (normalized to
+nanoseconds via ``time_unit``), and flags per-kernel slowdowns beyond a
+threshold. CI restores the previous run's document from the actions/cache
+artifact and prints this tool's markdown table into the job summary, so the
+kernel-level performance trajectory is visible across consecutive runs
+without gating the build (microbenchmark noise on shared runners is real;
+the table is a trend signal, not a pass/fail oracle).
+
+Usage:
+    bench/compare_micro_benchmarks.py BASELINE CURRENT
+        [--threshold 1.25] [--gate]
+
+Aggregate rows (mean/median/stddev repetitions) are skipped; only plain
+iteration entries compare. Exit status: 0 on success (even with flagged
+slowdowns, unless --gate), 1 with --gate when a kernel regressed beyond the
+threshold, 2 on usage or I/O errors.
+"""
+
+import argparse
+import json
+import sys
+
+# Normalize every real_time to nanoseconds for display-independent ratios.
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_kernels(path):
+    with open(path) as f:
+        doc = json.load(f)
+    kernels = {}
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type", "iteration") != "iteration":
+            continue  # repetition aggregates would double-count kernels
+        name = entry.get("name")
+        if name is None or "real_time" not in entry:
+            continue
+        scale = UNIT_TO_NS.get(entry.get("time_unit", "ns"))
+        if scale is None:
+            continue
+        kernels[name] = float(entry["real_time"]) * scale
+    return kernels
+
+
+def fmt_ns(ns):
+    for unit, size in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= size:
+            return f"{ns / size:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="flag kernels slower than baseline x this "
+                             "factor (default: %(default)g)")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit 1 when any kernel is flagged")
+    args = parser.parse_args()
+
+    try:
+        base = load_kernels(args.baseline)
+        cur = load_kernels(args.current)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if not base or not cur:
+        print("error: no comparable iteration entries found", file=sys.stderr)
+        return 2
+
+    flagged = []
+    print(f"### Kernel trajectory vs previous run "
+          f"(threshold {args.threshold:g}x)\n")
+    print("| kernel | previous | current | ratio | |")
+    print("|---|---|---|---|---|")
+    for name in sorted(base):
+        if name not in cur:
+            print(f"| {name} | {fmt_ns(base[name])} | _removed_ | | |")
+            continue
+        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        mark = ""
+        if ratio > args.threshold:
+            mark = ":warning: slower"
+            flagged.append((name, ratio))
+        elif ratio < 1.0 / args.threshold:
+            mark = "faster"
+        print(f"| {name} | {fmt_ns(base[name])} | {fmt_ns(cur[name])} "
+              f"| {ratio:.2f}x | {mark} |")
+    for name in sorted(set(cur) - set(base)):
+        print(f"| {name} | _new_ | {fmt_ns(cur[name])} | | |")
+
+    print()
+    if flagged:
+        worst = max(flagged, key=lambda kv: kv[1])
+        print(f"{len(flagged)} kernel(s) beyond the {args.threshold:g}x "
+              f"threshold; worst: {worst[0]} at {worst[1]:.2f}x")
+        if args.gate:
+            return 1
+    else:
+        print("no kernel beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

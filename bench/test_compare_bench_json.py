@@ -139,6 +139,24 @@ class CompareBenchJsonTest(unittest.TestCase):
         result = run_checker(BASE_DOC, "{not json")
         self.assertEqual(result.returncode, 2)
 
+    def test_missing_baseline_names_path_and_rerecord_command(self):
+        # A missing baseline (fresh bench, renamed file) must produce a
+        # one-line remedy, not a JSON traceback: the path that was looked
+        # up and the re-record command.
+        missing = os.path.join(tempfile.gettempdir(),
+                               "BENCH_no_such_bench.quick.json")
+        with tempfile.TemporaryDirectory() as tmp:
+            cur_path = os.path.join(tmp, "current.json")
+            with open(cur_path, "w") as f:
+                json.dump(BASE_DOC, f)
+            result = subprocess.run(
+                [sys.executable, CHECKER, missing, cur_path],
+                capture_output=True, text=True)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn(missing, result.stderr)
+        self.assertIn("record_baselines.sh", result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+
     def test_document_without_rows_is_a_usage_error(self):
         result = run_checker(BASE_DOC, {"bench": "demo_bench"})
         self.assertEqual(result.returncode, 2)

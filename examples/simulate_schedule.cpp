@@ -3,17 +3,21 @@
 //
 //   ./build/examples/simulate_schedule [num_tasks]
 //
-// Shows the three simulator modes side by side:
+// Shows the simulator modes side by side:
 //   1. deterministic block-synchronous replay == the static Eq. (1)-(2)
 //      makespan (the cross-validation the tests assert);
-//   2. task-eager semantics with link contention — the realistic execution,
+//   2. block-synchronous replay under fair-share link contention, next to
+//      the contention-aware cost model's closed-form prediction of it
+//      (comm::fairShareCommModel — the same physics, no event replay);
+//   3. task-eager semantics with link contention — the realistic execution,
 //      usually faster than the conservative static prediction;
-//   3. a lognormal-noise Monte-Carlo giving expected/p95 makespan and
+//   4. a lognormal-noise Monte-Carlo giving expected/p95 makespan and
 //      memory-overflow counts.
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "comm/cost_model.hpp"
 #include "memory/oracle.hpp"
 #include "platform/cluster.hpp"
 #include "scheduler/daghetpart.hpp"
@@ -57,7 +61,24 @@ int main(int argc, char** argv) {
   std::printf("deterministic replay:    makespan %.3f (static %.3f)\n",
               exact.makespan, schedule.makespan);
 
-  // 2. Task-eager semantics + fair-share link contention.
+  // 2. Fair-share contention on the block-synchronous model, and the shared
+  // cost model predicting it without replaying any events.
+  sim::SimOptions contended;
+  contended.contention = true;
+  const sim::SimResult shared =
+      sim::simulateSchedule(workflow, cluster, schedule, oracle, contended);
+  const auto predicted = scheduler::modelMakespan(
+      workflow, cluster, schedule, comm::fairShareCommModel());
+  if (!shared.ok || !predicted.has_value()) {
+    std::printf("contended simulation failed\n");
+    return 1;
+  }
+  std::printf("fair-share contention:   makespan %.3f (cost model predicts "
+              "%.3f, static was %.1f%% optimistic)\n",
+              shared.makespan, *predicted,
+              100.0 * (shared.makespan / schedule.makespan - 1.0));
+
+  // 3. Task-eager semantics + fair-share link contention.
   sim::SimOptions eager;
   eager.comm = sim::CommModel::kTaskEager;
   eager.contention = true;
@@ -73,7 +94,7 @@ int main(int argc, char** argv) {
               100.0 * realistic.makespan / schedule.makespan,
               realistic.numTransfers);
 
-  // 3. Monte-Carlo robustness under lognormal runtime noise.
+  // 4. Monte-Carlo robustness under lognormal runtime noise.
   sim::RobustnessOptions mc;
   mc.replications = 100;
   mc.seed = 1;

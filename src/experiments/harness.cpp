@@ -141,8 +141,11 @@ std::vector<RunOutcome> runComparison(const std::vector<Instance>& instances,
       part = {r.feasible, r.makespan, r.stats.seconds};
       if (options.validate && r.feasible) {
         const memory::MemDagOracle oracle(inst.dag, options.part.oracle);
-        const auto report =
-            scheduler::validateSchedule(inst.dag, scaled, oracle, r);
+        // Contention-aware runs report the fair-share priced makespan; the
+        // cross-check must recompute under the same model.
+        const auto report = scheduler::validateSchedule(
+            inst.dag, scaled, oracle, r,
+            scheduler::commModelFor(options.part.options));
         if (!report.valid) {
           throw std::logic_error("invalid DagHetPart schedule on " +
                                  inst.name + ": " + report.error);

@@ -215,6 +215,99 @@ MakespanResult computeMakespan(const QuotientGraph& q,
   return result;
 }
 
+std::optional<QuotientFluid> buildQuotientFluid(
+    const QuotientGraph& q, const platform::Cluster& cluster) {
+  const auto order = q.topologicalOrder();
+  if (!order) return std::nullopt;
+  QuotientFluid fluid;
+  fluid.blockOfNode = *order;
+  std::vector<std::uint32_t> nodeOfBlock(q.numSlots(), comm::kNoFluidEdge);
+  for (std::uint32_t i = 0; i < order->size(); ++i) {
+    nodeOfBlock[(*order)[i]] = i;
+  }
+  fluid.problem.nodes.resize(order->size());
+  fluid.problem.order.resize(order->size());
+  for (std::uint32_t i = 0; i < order->size(); ++i) {
+    const QNode& node = q.node((*order)[i]);
+    const platform::ProcessorId p = node.proc;
+    const double speed = p == platform::kNoProcessor ? 1.0 : cluster.speed(p);
+    fluid.problem.nodes[i].duration = node.work / speed;
+    fluid.problem.order[i] = i;
+    // Per-destination in-edges in adjacency (map) order: the same term
+    // sequence computeTimeline folds, so the uncontended pass is
+    // bit-identical to it.
+    for (const auto& [parent, cost] : node.in) {
+      fluid.problem.edges.push_back({nodeOfBlock[parent], i, cost});
+    }
+  }
+  return fluid;
+}
+
+namespace {
+
+MakespanResult makespanFromFluid(const QuotientFluid& fluid,
+                                 const comm::FluidResult& eval) {
+  MakespanResult result;
+  if (!eval.ok) return result;
+  result.acyclic = true;
+  result.makespan = eval.makespan;
+  // The critical chain: from the last-finishing node up through binding
+  // predecessors, reported upstream-to-downstream like the Eq. (1) path.
+  std::uint32_t top = comm::kNoFluidEdge;
+  for (std::uint32_t i = 0; i < eval.finish.size(); ++i) {
+    if (top == comm::kNoFluidEdge || eval.finish[i] > eval.finish[top]) {
+      top = i;
+    }
+  }
+  if (top != comm::kNoFluidEdge) {
+    std::uint32_t cur = top;
+    while (true) {
+      result.criticalPath.push_back(fluid.blockOfNode[cur]);
+      const std::uint32_t e = eval.bindingEdge[cur];
+      if (e == comm::kNoFluidEdge) break;
+      cur = fluid.problem.edges[e].src;
+    }
+    std::reverse(result.criticalPath.begin(), result.criticalPath.end());
+  }
+  return result;
+}
+
+}  // namespace
+
+MakespanResult computeMakespan(const QuotientGraph& q,
+                               const platform::Cluster& cluster,
+                               const comm::CommCostModel& model) {
+  const auto fluid = buildQuotientFluid(q, cluster);
+  if (!fluid) return MakespanResult{};
+  return makespanFromFluid(*fluid,
+                           model.evaluate(fluid->problem, cluster.bandwidth()));
+}
+
+std::optional<double> makespanValue(const QuotientGraph& q,
+                                    const platform::Cluster& cluster,
+                                    const comm::CommCostModel& model) {
+  const auto fluid = buildQuotientFluid(q, cluster);
+  if (!fluid) return std::nullopt;
+  const comm::FluidResult eval =
+      model.evaluate(fluid->problem, cluster.bandwidth());
+  if (!eval.ok) return std::nullopt;
+  return eval.makespan;
+}
+
+MakespanResult computeMakespan(const QuotientGraph& q,
+                               const platform::Cluster& cluster,
+                               const comm::CommCostModel* model) {
+  return model == nullptr ? computeMakespan(q, cluster)
+                          : computeMakespan(q, cluster, *model);
+}
+
+std::optional<double> makespanValue(const QuotientGraph& q,
+                                    const platform::Cluster& cluster,
+                                    const comm::CommCostModel* model) {
+  return model == nullptr ? makespanValue(q, cluster)
+                          : makespanValue(q, cluster, *model);
+}
+
 std::optional<double> makespanValue(const QuotientGraph& q,
                                     const platform::Cluster& cluster) {
   const auto order = q.topologicalOrder();

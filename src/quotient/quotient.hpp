@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "comm/cost_model.hpp"
 #include "graph/dag.hpp"
 #include "platform/cluster.hpp"
 
@@ -101,5 +102,41 @@ MakespanResult computeMakespan(const QuotientGraph& q,
 /// Makespan only (no critical path extraction); slightly cheaper.
 std::optional<double> makespanValue(const QuotientGraph& q,
                                     const platform::Cluster& cluster);
+
+/// Forward evaluation under an explicit communication cost model. The
+/// uncontended model reproduces computeTimeline/makespanValue bit-exactly;
+/// the fair-share model prices concurrent transfers the way sim::Engine
+/// executes them. bottomWeight stays empty (contention breaks the Eq. (1)
+/// bottom-weight recurrence); criticalPath follows the binding-predecessor
+/// chain of the forward pass instead.
+MakespanResult computeMakespan(const QuotientGraph& q,
+                               const platform::Cluster& cluster,
+                               const comm::CommCostModel& model);
+
+std::optional<double> makespanValue(const QuotientGraph& q,
+                                    const platform::Cluster& cluster,
+                                    const comm::CommCostModel& model);
+
+/// Pointer-dispatch for callers carrying an optional model (the Step-3/4
+/// configs, validation): null routes through the legacy uncontended
+/// recurrence verbatim — the bit-identical default — non-null through the
+/// model evaluation above.
+MakespanResult computeMakespan(const QuotientGraph& q,
+                               const platform::Cluster& cluster,
+                               const comm::CommCostModel* model);
+std::optional<double> makespanValue(const QuotientGraph& q,
+                                    const platform::Cluster& cluster,
+                                    const comm::CommCostModel* model);
+
+/// Builds the fluid problem of a scheduled quotient: one node per alive
+/// block (in topological order; blockOfNode maps back to block ids), one
+/// edge per quotient edge in the per-destination adjacency order. Shared by
+/// the model-priced makespan/timeline evaluations. nullopt when cyclic.
+struct QuotientFluid {
+  comm::FluidProblem problem;
+  std::vector<BlockId> blockOfNode;  // fluid node index -> block id
+};
+std::optional<QuotientFluid> buildQuotientFluid(
+    const QuotientGraph& q, const platform::Cluster& cluster);
 
 }  // namespace dagpm::quotient

@@ -46,6 +46,35 @@ Timeline computeTimeline(const QuotientGraph& q,
   return timeline;
 }
 
+Timeline computeTimeline(const QuotientGraph& q,
+                         const platform::Cluster& cluster,
+                         const comm::CommCostModel& model) {
+  Timeline timeline;
+  const auto fluid = buildQuotientFluid(q, cluster);
+  assert(fluid.has_value() && "timeline requires an acyclic quotient");
+  if (!fluid) return timeline;
+  const comm::FluidResult eval =
+      model.evaluate(fluid->problem, cluster.bandwidth());
+  if (!eval.ok) return timeline;
+  timeline.makespan = eval.makespan;
+  for (std::uint32_t i = 0; i < fluid->blockOfNode.size(); ++i) {
+    const BlockId b = fluid->blockOfNode[i];
+    TimelineEntry entry;
+    entry.block = b;
+    entry.proc = q.node(b).proc;
+    entry.start = eval.start[i];
+    entry.finish = eval.finish[i];
+    entry.numTasks = q.node(b).members.size();
+    timeline.entries.push_back(entry);
+  }
+  std::sort(timeline.entries.begin(), timeline.entries.end(),
+            [](const TimelineEntry& a, const TimelineEntry& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.block < b.block;
+            });
+  return timeline;
+}
+
 void renderTimeline(std::ostream& os, const Timeline& timeline,
                     const platform::Cluster& cluster, int width) {
   if (timeline.entries.empty() || timeline.makespan <= 0.0) {

@@ -35,6 +35,15 @@ struct Timeline {
 Timeline computeTimeline(const QuotientGraph& q,
                          const platform::Cluster& cluster);
 
+/// Timeline under an explicit communication cost model. With
+/// comm::uncontendedCommModel() the result is bit-identical to the overload
+/// above; with comm::fairShareCommModel() transfers contend the way the
+/// simulator executes them, so the Gantt view shows the makespan the
+/// fair-share replay will realize.
+Timeline computeTimeline(const QuotientGraph& q,
+                         const platform::Cluster& cluster,
+                         const comm::CommCostModel& model);
+
 /// ASCII Gantt rendering, one row per block, `width` characters of time
 /// axis. Rows are labelled with processor kind and block size.
 void renderTimeline(std::ostream& os, const Timeline& timeline,

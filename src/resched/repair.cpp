@@ -154,7 +154,7 @@ RepairResult repairResidual(ResidualState& state,
                             const memory::MemDagOracle& oracle,
                             const RepairConfig& cfg) {
   RepairResult result;
-  result.projectedBefore = projectResidual(state, cluster);
+  result.projectedBefore = projectResidual(state, cluster, cfg.comm);
   double current = result.projectedBefore;
   int mergeBudget = cfg.mergeProbeBudget;
   const double eps = 1e-12 * std::max(1.0, current);
@@ -179,7 +179,7 @@ RepairResult repairResidual(ResidualState& state,
           if (p == from || state.procHostsLive[p] != 0) continue;
           if (bi.memReq > capacityOf(state, cluster, p) * kMemSlack) continue;
           bi.proc = p;  // tentative; the projection ignores procHostsLive
-          const double value = projectResidual(state, cluster);
+          const double value = projectResidual(state, cluster, cfg.comm);
           bi.proc = from;
           if (value < bestValue) {
             bestValue = value;
@@ -198,7 +198,7 @@ RepairResult repairResidual(ResidualState& state,
             continue;
           }
           std::swap(bi.proc, bj.proc);
-          const double value = projectResidual(state, cluster);
+          const double value = projectResidual(state, cluster, cfg.comm);
           std::swap(bi.proc, bj.proc);
           if (value < bestValue) {
             bestValue = value;
@@ -225,7 +225,7 @@ RepairResult repairResidual(ResidualState& state,
           // candidate would be O(tasks)); a merge creating a cycle projects
           // to +inf and is never selected.
           const MergeUndo tx = applyMerge(state, j, i, mem);
-          const double value = projectResidual(state, cluster);
+          const double value = projectResidual(state, cluster, cfg.comm);
           undoMerge(state, tx);
           if (value < bestValue) {
             bestValue = value;

@@ -41,6 +41,11 @@ struct RepairConfig {
   /// it the schedule is kept unchanged (splicing has real costs: moved
   /// blocks lose their received data).
   double minGain = 0.01;
+  /// Communication cost model every candidate projection is priced under.
+  /// Null = the legacy uncontended pass; &comm::fairShareCommModel() makes
+  /// the repair optimize the contended physics a fair-share execution
+  /// realizes (the driver selects it when the engine runs with contention).
+  const comm::CommCostModel* comm = nullptr;
 };
 
 struct RepairResult {

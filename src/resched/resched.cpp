@@ -238,6 +238,12 @@ RescheduleResult runOnline(const graph::Dag& g,
     repairCfg.maxRounds = policy.maxRepairRounds;
     repairCfg.mergeProbeBudget = policy.mergeProbeBudget;
     repairCfg.minGain = policy.minGain;
+    // A contended execution is repaired against the contended cost model:
+    // the projection then prices the very physics the resumed engine will
+    // realize, instead of the optimistic uncontended c/beta.
+    if (options.contention && policy.contentionAwareProjection) {
+      repairCfg.comm = &comm::fairShareCommModel();
+    }
     const RepairResult repair =
         repairResidual(residual, cluster, oracle, repairCfg);
 

@@ -83,6 +83,12 @@ struct ReschedulePolicy {
   /// blocks look expensive, so the repair moves them off it. Zero noise
   /// observes slowdown exactly 1 everywhere, preserving the no-op property.
   bool adaptiveSpeedEstimates = true;
+  /// When the execution contends for the backbone
+  /// (RescheduleOptions::contention), price repair projections through the
+  /// fair-share cost model so the repair optimizes the physics the engine
+  /// realizes. No effect on uncontended executions, whose projection stays
+  /// the exact deterministic replay the tests pin to 1e-9.
+  bool contentionAwareProjection = true;
   /// Evaluation-mode hindsight guard (see file comment).
   bool hindsightGuard = true;
 };

@@ -102,12 +102,16 @@ ResidualState buildResidual(const sim::SimPlan& plan,
 }
 
 double projectResidual(const ResidualState& state,
-                       const platform::Cluster& cluster) {
+                       const platform::Cluster& cluster,
+                       const comm::CommCostModel* comm) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   const double beta = cluster.bandwidth();
   const std::size_t n = state.blocks.size();
 
   // Kahn order over the live blocks; a cyclic candidate projects to +inf.
+  // Pinned blocks ignore their inputs below (the data already arrived), but
+  // their edges still participate here: a merge closing a cycle through a
+  // pinned block must be rejected under every cost model.
   std::vector<std::size_t> degree(n, 0);
   std::vector<std::size_t> order;
   order.reserve(n);
@@ -130,6 +134,54 @@ double projectResidual(const ResidualState& state,
                ? state.procSlowdown[p]
                : 1.0;
   };
+
+  if (comm != nullptr) {
+    // Model-priced projection: the residual becomes a fluid problem whose
+    // injections are the in-flight remainders and re-sends dispatched at
+    // `now`, and whose edges are the live inter-block transfers. The
+    // uncontended model reproduces the legacy pass below (same maxes, same
+    // additive terms); the fair-share model makes them contend.
+    comm::FluidProblem problem;
+    std::vector<std::uint32_t> nodeOf(n, comm::kNoFluidEdge);
+    for (const std::size_t i : order) {
+      nodeOf[i] = static_cast<std::uint32_t>(problem.nodes.size());
+      problem.order.push_back(nodeOf[i]);
+      const ResidualBlock& rb = state.blocks[i];
+      comm::FluidNode node;
+      node.duration =
+          rb.remainingWork * slowdownOf(rb.proc) / cluster.speed(rb.proc);
+      node.earliestStart = std::max(state.now, rb.release);
+      if (!rb.pinned && !rb.moved()) {
+        node.earliestStart = std::max(node.earliestStart, rb.barrier);
+      }
+      problem.nodes.push_back(node);
+    }
+    for (const std::size_t i : order) {
+      const ResidualBlock& rb = state.blocks[i];
+      if (rb.pinned) continue;  // started: every input already arrived
+      if (rb.moved()) {
+        std::map<BlockId, double> resend;
+        for (const ResidualInput& in : rb.completedInputs) {
+          resend[in.srcBlock] += in.fullCost;
+        }
+        for (const auto& [src, cost] : resend) {
+          problem.injections.push_back({nodeOf[i], state.now, cost});
+        }
+      } else {
+        for (const ResidualInput& in : rb.completedInputs) {
+          if (!in.delivered) {
+            problem.injections.push_back({nodeOf[i], state.now, in.remaining});
+          }
+        }
+      }
+      for (const auto& [pred, cost] : rb.preds) {
+        problem.edges.push_back({nodeOf[pred], nodeOf[i], cost});
+      }
+    }
+    const comm::FluidResult eval = comm->evaluate(problem, beta);
+    if (!eval.ok) return kInf;
+    return std::max(state.makespanSoFar, eval.makespan);
+  }
 
   double makespan = state.makespanSoFar;
   std::vector<double> finish(n, 0.0);

@@ -27,6 +27,7 @@
 #include <map>
 #include <vector>
 
+#include "comm/cost_model.hpp"
 #include "memory/oracle.hpp"
 #include "platform/cluster.hpp"
 #include "sim/engine.hpp"
@@ -95,11 +96,16 @@ ResidualState buildResidual(const sim::SimPlan& plan,
                             const sim::SimCheckpoint& checkpoint,
                             const memory::MemDagOracle& oracle);
 
-/// Deterministic uncontended projection of the residual makespan under the
-/// current (possibly tentatively mutated) assignment. Returns +infinity when
-/// the live-block quotient is cyclic (a repair candidate that must be
-/// rejected).
+/// Deterministic projection of the residual makespan under the current
+/// (possibly tentatively mutated) assignment. Returns +infinity when the
+/// live-block quotient is cyclic (a repair candidate that must be
+/// rejected). The default (null) model is the legacy uncontended pass;
+/// passing &comm::fairShareCommModel() prices the in-flight remainders,
+/// re-sends and live inter-block transfers jointly over the shared link, so
+/// a repair driven by it optimizes the physics a contended execution
+/// (SimOptions::contention) will realize.
 double projectResidual(const ResidualState& state,
-                       const platform::Cluster& cluster);
+                       const platform::Cluster& cluster,
+                       const comm::CommCostModel* comm = nullptr);
 
 }  // namespace dagpm::resched

@@ -81,9 +81,11 @@ ScheduleResult dagHetPartSingle(const graph::Dag& g,
   }
 
   // --- Step 3: merge unassigned blocks into assigned ones.
+  const comm::CommCostModel* commModel = commModelFor(cfg.options);
   MergeStepConfig mcfg;
   mcfg.preferOffCriticalPath = cfg.preferOffCriticalPath;
   mcfg.anyHostFallback = cfg.anyHostFallback;
+  mcfg.comm = commModel;
   const MergeStepResult merge =
       mergeUnassignedToAssigned(q, cluster, oracle, mcfg);
   result.stats.mergesCommitted = merge.mergesCommitted;
@@ -96,6 +98,7 @@ ScheduleResult dagHetPartSingle(const graph::Dag& g,
   SwapStepConfig scfg;
   scfg.enableSwaps = cfg.enableSwaps;
   scfg.enableIdleMoves = cfg.enableIdleMoves;
+  scfg.comm = commModel;
   const SwapStepResult swaps = improveBySwaps(q, cluster, scfg);
   result.stats.swapsCommitted = swaps.swapsCommitted;
   result.stats.idleMovesCommitted = swaps.idleMovesCommitted;

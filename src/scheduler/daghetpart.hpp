@@ -17,6 +17,7 @@
 // when available.
 
 #include "partition/partitioner.hpp"
+#include "scheduler/options.hpp"
 #include "scheduler/solution.hpp"
 
 namespace dagpm::scheduler {
@@ -42,6 +43,12 @@ struct DagHetPartConfig {
   /// rescues memory-tight instances the baseline can schedule. Library
   /// extension; see DESIGN.md.
   bool memoryBalanceFallback = true;
+  /// Cross-cutting switches; options.contentionAware threads the fair-share
+  /// communication cost model through Step 3's merge scoring, Step 4's
+  /// swap/idle-move search, the k'-sweep selection and the reported
+  /// makespan (which then predicts the fair-share simulated execution
+  /// instead of the optimistic uncontended Eq. (1)-(2) value).
+  SchedulerOptions options;
 };
 
 /// The k' values the sweep evaluates for a cluster of `k` processors.

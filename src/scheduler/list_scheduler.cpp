@@ -13,7 +13,8 @@ using graph::VertexId;
 using platform::ProcessorId;
 
 ListScheduleResult heftSchedule(const graph::Dag& g,
-                                const platform::Cluster& cluster) {
+                                const platform::Cluster& cluster,
+                                const SchedulerOptions& options) {
   ListScheduleResult result;
   const std::size_t n = g.numVertices();
   result.procOfTask.assign(n, platform::kNoProcessor);
@@ -58,6 +59,12 @@ ListScheduleResult heftSchedule(const graph::Dag& g,
   std::vector<double> taskFinish(n, 0.0);
   result.entries.resize(n);
 
+  // Contention-aware placement: transfers committed by earlier placements
+  // occupy the shared link; pricing walks the load profile instead of
+  // charging the uncontended c/beta.
+  const bool contended = options.contentionAware;
+  comm::LinkLoadProfile link(beta);
+
 #ifndef NDEBUG
   std::vector<bool> placed(n, false);
 #endif
@@ -72,11 +79,28 @@ ListScheduleResult heftSchedule(const graph::Dag& g,
     double bestFinish = std::numeric_limits<double>::infinity();
     ProcessorId bestProc = 0;
     double bestStart = 0.0;
+    // Contended deliveries are processor-independent (only "same processor,
+    // no transfer" depends on p), so price each inbound edge once against
+    // the profile as it stands before any of v's own transfers commit.
+    std::vector<double> delivery;
+    if (contended) {
+      delivery.reserve(g.inEdges(v).size());
+      for (const EdgeId e : g.inEdges(v)) {
+        delivery.push_back(
+            link.price(taskFinish[g.edge(e).src], g.edge(e).cost));
+      }
+    }
     for (ProcessorId p = 0; p < cluster.numProcessors(); ++p) {
       // Data-ready time on p: communication is free within a processor.
       double ready = 0.0;
+      std::size_t in = 0;
       for (const EdgeId e : g.inEdges(v)) {
         const VertexId u = g.edge(e).src;
+        const std::size_t i = in++;
+        if (contended && result.procOfTask[u] != p) {
+          ready = std::max(ready, delivery[i]);
+          continue;
+        }
         const double comm =
             result.procOfTask[u] == p ? 0.0 : g.edge(e).cost / beta;
         ready = std::max(ready, taskFinish[u] + comm);
@@ -94,6 +118,19 @@ ListScheduleResult heftSchedule(const graph::Dag& g,
         bestFinish = finish;
         bestProc = p;
         bestStart = start;
+      }
+    }
+    if (contended) {
+      // Commit the chosen placement's inbound transfers with the exact
+      // delivery instants that bounded the placement decision (re-pricing
+      // here would see the occupancy of v's own earlier commits and drift).
+      std::size_t in = 0;
+      for (const EdgeId e : g.inEdges(v)) {
+        const VertexId u = g.edge(e).src;
+        const std::size_t i = in++;
+        if (result.procOfTask[u] != bestProc) {
+          link.commit(taskFinish[u], delivery[i]);
+        }
       }
     }
     result.procOfTask[v] = bestProc;

@@ -28,6 +28,7 @@ struct CandidateOutcome {
 CandidateOutcome findMsOptMerge(quotient::QuotientGraph& q,
                                 const platform::Cluster& cluster,
                                 const memory::MemDagOracle& oracle,
+                                const comm::CommCostModel* comm,
                                 BlockId nu, const std::set<BlockId>& allowed,
                                 bool neighborsOnly, int maxProbes = -1,
                                 bool firstFeasibleWins = false) {
@@ -91,7 +92,8 @@ CandidateOutcome findMsOptMerge(quotient::QuotientGraph& q,
     if (viable) {
       const double memReq = oracle.blockRequirement(q.node(host).members);
       if (memReq <= cluster.memory(q.node(host).proc)) {
-        const auto makespan = quotient::makespanValue(q, cluster);
+        // Null comm keeps the legacy uncontended recurrence byte-for-byte.
+        const auto makespan = quotient::makespanValue(q, cluster, comm);
         assert(makespan.has_value());
         if (*makespan <= best.makespan) {
           best.makespan = *makespan;
@@ -150,19 +152,21 @@ MergeStepResult mergeUnassignedToAssigned(quotient::QuotientGraph& q,
     unassigned.pop_front();
     if (!q.node(nu).alive) continue;  // absorbed as a 2-cycle third node
 
-    // Critical path of the current estimated makespan.
-    const quotient::MakespanResult ms = computeMakespan(q, cluster);
+    // Critical path of the current estimated makespan (under the configured
+    // cost model: contention moves the path toward transfer-heavy chains).
+    const quotient::MakespanResult ms = computeMakespan(q, cluster, cfg.comm);
     assert(ms.acyclic);
     std::set<BlockId> offPath = assigned;
     if (cfg.preferOffCriticalPath) {
       for (const BlockId b : ms.criticalPath) offPath.erase(b);
     }
 
-    CandidateOutcome outcome =
-        findMsOptMerge(q, cluster, oracle, nu, offPath, /*neighborsOnly=*/true);
+    CandidateOutcome outcome = findMsOptMerge(q, cluster, oracle, cfg.comm,
+                                              nu, offPath,
+                                              /*neighborsOnly=*/true);
     if (outcome.target == kNoBlock && cfg.preferOffCriticalPath) {
       // No feasible merge off the critical path; allow merges anywhere.
-      outcome = findMsOptMerge(q, cluster, oracle, nu, assigned,
+      outcome = findMsOptMerge(q, cluster, oracle, cfg.comm, nu, assigned,
                                /*neighborsOnly=*/true);
     }
     if (outcome.target == kNoBlock && cfg.anyHostFallback &&
@@ -176,7 +180,7 @@ MergeStepResult mergeUnassignedToAssigned(quotient::QuotientGraph& q,
       // are slack-ordered, first-feasible-wins, and budgeted so rescue
       // attempts cannot dominate the runtime of large instances.
       const int probes = std::min(rescueProbesLeft, cfg.maxRescueProbes);
-      outcome = findMsOptMerge(q, cluster, oracle, nu, assigned,
+      outcome = findMsOptMerge(q, cluster, oracle, cfg.comm, nu, assigned,
                                /*neighborsOnly=*/false, probes,
                                /*firstFeasibleWins=*/true);
       rescueProbesLeft -= probes;

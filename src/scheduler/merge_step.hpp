@@ -15,6 +15,7 @@
 
 #include <optional>
 
+#include "comm/cost_model.hpp"
 #include "memory/oracle.hpp"
 #include "platform/cluster.hpp"
 #include "quotient/quotient.hpp"
@@ -37,6 +38,11 @@ struct MergeStepConfig {
   /// attempts stay a small fraction of the total runtime.
   int maxRescueProbes = 12;
   int rescueProbeBudget = 400;
+  /// Communication cost model the candidate scoring and the critical-path
+  /// preference evaluate under. Null = the paper's uncontended Eq. (1)-(2)
+  /// recurrence (the legacy code path, bit-identical to pre-model builds);
+  /// &comm::fairShareCommModel() = contention-aware merging.
+  const comm::CommCostModel* comm = nullptr;
 };
 
 struct MergeStepResult {

@@ -18,10 +18,22 @@ double staticMakespan(const graph::Dag& g, const platform::Cluster& cluster,
   return quotient::computeTimeline(q, cluster).makespan;
 }
 
+std::optional<double> modelMakespan(const graph::Dag& g,
+                                    const platform::Cluster& cluster,
+                                    const ScheduleResult& schedule,
+                                    const comm::CommCostModel& model) {
+  quotient::QuotientGraph q(g, schedule.blockOf, schedule.numBlocks());
+  for (std::uint32_t b = 0; b < schedule.numBlocks(); ++b) {
+    q.setProcessor(b, schedule.procOfBlock[b]);
+  }
+  return quotient::makespanValue(q, cluster, model);
+}
+
 ValidationReport validateSchedule(const graph::Dag& g,
                                   const platform::Cluster& cluster,
                                   const memory::MemDagOracle& oracle,
-                                  const ScheduleResult& schedule) {
+                                  const ScheduleResult& schedule,
+                                  const comm::CommCostModel* comm) {
   ValidationReport report;
   auto fail = [&report](std::string msg) {
     report.valid = false;
@@ -68,7 +80,7 @@ ValidationReport validateSchedule(const graph::Dag& g,
   for (std::uint32_t b = 0; b < numBlocks; ++b) {
     q.setProcessor(b, schedule.procOfBlock[b]);
   }
-  const auto makespan = quotient::makespanValue(q, cluster);
+  const auto makespan = quotient::makespanValue(q, cluster, comm);
   if (!makespan) return fail("makespan undefined");
   const double tolerance =
       1e-9 * std::max(1.0, std::abs(schedule.makespan));

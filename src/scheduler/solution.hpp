@@ -6,9 +6,11 @@
 // memory fits its processor; its quality is the makespan of the quotient DAG.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "comm/cost_model.hpp"
 #include "graph/dag.hpp"
 #include "memory/oracle.hpp"
 #include "platform/cluster.hpp"
@@ -46,16 +48,29 @@ struct ValidationReport {
 /// Checks all DAGP-PM constraints: complete task coverage, at most k blocks,
 /// pairwise-distinct processors, acyclic quotient, every block's memory
 /// requirement (per `oracle`) within its processor's memory, and the reported
-/// makespan matching a recomputation (relative tolerance 1e-9).
+/// makespan matching a recomputation (relative tolerance 1e-9). Schedules
+/// produced with SchedulerOptions::contentionAware report the fair-share
+/// priced makespan; pass the matching model (commModelFor) so the makespan
+/// cross-check recomputes under the same physics (null = uncontended).
 ValidationReport validateSchedule(const graph::Dag& g,
                                   const platform::Cluster& cluster,
                                   const memory::MemDagOracle& oracle,
-                                  const ScheduleResult& schedule);
+                                  const ScheduleResult& schedule,
+                                  const comm::CommCostModel* comm = nullptr);
 
 /// Static Eq. (1)-(2) forward-pass makespan of a schedule, recomputed from
 /// its quotient (not read from schedule.makespan). No feasibility checking;
 /// blockOf labels must be in range.
 double staticMakespan(const graph::Dag& g, const platform::Cluster& cluster,
                       const ScheduleResult& schedule);
+
+/// Model-priced makespan of a schedule, recomputed from its quotient.
+/// nullopt when the quotient is cyclic. With the fair-share model this is
+/// the makespan the deterministic contended simulation realizes (the
+/// differential tests pin the agreement to 1e-9).
+std::optional<double> modelMakespan(const graph::Dag& g,
+                                    const platform::Cluster& cluster,
+                                    const ScheduleResult& schedule,
+                                    const comm::CommCostModel& model);
 
 }  // namespace dagpm::scheduler

@@ -13,7 +13,11 @@ SwapStepResult improveBySwaps(quotient::QuotientGraph& q,
                               const platform::Cluster& cluster,
                               const SwapStepConfig& cfg) {
   SwapStepResult result;
-  const auto current = quotient::makespanValue(q, cluster);
+  // Null model keeps the legacy uncontended recurrence byte-for-byte.
+  const auto evalMakespan = [&]() {
+    return quotient::makespanValue(q, cluster, cfg.comm);
+  };
+  const auto current = evalMakespan();
   assert(current.has_value() && "swap step requires an acyclic quotient");
   result.makespan = *current;
 
@@ -40,7 +44,7 @@ SwapStepResult improveBySwaps(quotient::QuotientGraph& q,
           }
           q.setProcessor(a, pb);
           q.setProcessor(b, pa);
-          const auto makespan = quotient::makespanValue(q, cluster);
+          const auto makespan = evalMakespan();
           q.setProcessor(a, pa);
           q.setProcessor(b, pb);
           if (makespan && *makespan < bestMakespan - 1e-12) {
@@ -72,7 +76,8 @@ SwapStepResult improveBySwaps(quotient::QuotientGraph& q,
     bool progress = true;
     while (progress && !idle.empty()) {
       progress = false;
-      const quotient::MakespanResult ms = computeMakespan(q, cluster);
+      const quotient::MakespanResult ms =
+          computeMakespan(q, cluster, cfg.comm);
       for (const BlockId b : ms.criticalPath) {
         if (moved.count(b) > 0) continue;
         const ProcessorId from = q.node(b).proc;
@@ -91,7 +96,7 @@ SwapStepResult improveBySwaps(quotient::QuotientGraph& q,
         }
         if (best == platform::kNoProcessor) continue;
         q.setProcessor(b, best);
-        const auto makespan = quotient::makespanValue(q, cluster);
+        const auto makespan = evalMakespan();
         if (makespan && *makespan < result.makespan - 1e-12) {
           idle.erase(best);
           idle.insert(from);

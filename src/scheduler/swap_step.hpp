@@ -8,6 +8,7 @@
 // idle processors that can hold them, as long as doing so improves the
 // makespan.
 
+#include "comm/cost_model.hpp"
 #include "platform/cluster.hpp"
 #include "quotient/quotient.hpp"
 
@@ -17,6 +18,11 @@ struct SwapStepConfig {
   bool enableSwaps = true;      // ablation toggles
   bool enableIdleMoves = true;
   std::uint32_t maxSwapRounds = 1000;  // safety bound; each round improves
+  /// Communication cost model the swap/idle-move search evaluates under.
+  /// Null = the paper's uncontended recurrence (the legacy code path);
+  /// &comm::fairShareCommModel() = contention-aware local search. The
+  /// returned makespan is priced under the same model.
+  const comm::CommCostModel* comm = nullptr;
 };
 
 struct SwapStepResult {

@@ -26,6 +26,11 @@
 // Contention: when enabled, all in-flight transfers fair-share the single
 // beta backbone (each of n concurrent transfers progresses at beta/n), a
 // fluid-flow model the static, uncontended c/beta term cannot express.
+// The schedulers price this same physics through comm::fairShareCommModel
+// (closed-form over the processor-sharing virtual-time structure, no event
+// replay); for block-synchronous deterministic runs the two agree to 1e-9,
+// which is what lets contention-aware Step-3/4 search optimize exactly the
+// makespan this engine will measure (differential-tested in test_comm).
 //
 // Memory: per-step usage follows the oracle's traversal accounting
 // (memory::simulateBlockOrder). In kTaskEager mode, remote inputs that

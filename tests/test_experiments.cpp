@@ -6,7 +6,9 @@
 #include <cmath>
 #include <cstdio>
 #include <set>
+#include <sstream>
 
+#include "experiments/contention.hpp"
 #include "experiments/harness.hpp"
 #include "experiments/resched.hpp"
 
@@ -242,6 +244,48 @@ TEST(Rescheduling, EventTriggeredPolicyBeatsNoReschedAtLognormalNoise) {
   // ... and strictly better somewhere: repairs demonstrably engage and win.
   EXPECT_GT(strictWins, 0);
   EXPECT_GT(acceptedSplices, 0.0);
+}
+
+TEST(Contention, AwareSchedulingImprovesSimulatedMakespanAtHighCcr) {
+  // The acceptance shape of the contention experiment: at CCR >= 1 (slow
+  // links, overlapping transfers) the contention-aware pipeline's fair-share
+  // simulated makespan beats the oblivious pipeline's in geometric mean, and
+  // it never loses in aggregate at any rung. Everything is deterministic, so
+  // this is a fixed property of the code, not a statistical one.
+  const platform::Cluster cluster = platform::makeCluster(
+      platform::Heterogeneity::kDefault, platform::ClusterSize::kDefault);
+  std::vector<Instance> instances = makeRealInstances(1);
+  for (Instance& inst :
+       makeSyntheticInstances({60}, workflows::SizeBand::kSmall, 1)) {
+    instances.push_back(std::move(inst));
+  }
+  const std::vector<double> ladder{1.0, 2.0, 4.0};
+  ContentionRunnerOptions options;
+  options.part.sweep = scheduler::KPrimeSweep::kDoubling;
+  const std::vector<ContentionOutcome> outcomes =
+      runContention(instances, cluster, ladder, options);
+
+  const auto aggregates = aggregateContention(outcomes);
+  int strictWins = 0;
+  for (const double ccr : ladder) {
+    std::ostringstream config;
+    config << "ccr" << ccr;
+    const auto it = aggregates.find({config.str(), "all"});
+    ASSERT_NE(it, aggregates.end());
+    const ContentionAggregate& agg = it->second;
+    ASSERT_GT(agg.comparable, 0);
+    // The gap is real: contention delays the oblivious schedule ...
+    EXPECT_GE(agg.geomeanOptimismGap, 1.0 - 1e-9);
+    // ... and aware scheduling never loses in geomean ...
+    EXPECT_LE(agg.geomeanAwareSimulated,
+              agg.geomeanObliviousSimulated * (1.0 + 1e-9));
+    if (agg.geomeanAwareSimulated <
+        agg.geomeanObliviousSimulated * (1.0 - 1e-9)) {
+      ++strictWins;
+    }
+  }
+  // ... and strictly wins on at least one rung of the ladder.
+  EXPECT_GT(strictWins, 0);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "memory/simulate.hpp"
 #include "partition/partitioner.hpp"
 #include "platform/cluster.hpp"
+#include "quotient/incremental.hpp"
 #include "quotient/quotient.hpp"
 #include "workflows/families.hpp"
 
@@ -81,6 +82,124 @@ void BM_QuotientMakespan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QuotientMakespan)->Arg(8)->Arg(36)->Unit(benchmark::kMicrosecond);
+
+/// A scheduled quotient shared by the probe benchmarks: workflow blocks
+/// assigned round-robin over the default cluster — the Step-4 regime.
+struct ProbeFixture {
+  graph::Dag g;
+  platform::Cluster cluster;
+  quotient::QuotientGraph q;
+  std::vector<quotient::BlockId> nodes;
+
+  explicit ProbeFixture(std::uint32_t parts)
+      : g(makeWorkflow(2000)),
+        cluster(platform::makeCluster(platform::Heterogeneity::kDefault,
+                                      platform::ClusterSize::kDefault)),
+        q(g, partition::partitionAcyclic(
+                  g,
+                  [&] {
+                    partition::PartitionConfig cfg;
+                    cfg.numParts = parts;
+                    return cfg;
+                  }())
+                  .blockOf,
+          parts) {
+    std::uint32_t i = 0;
+    for (const quotient::BlockId b : q.aliveNodes()) {
+      q.setProcessor(b, static_cast<platform::ProcessorId>(
+                            i++ % cluster.numProcessors()));
+    }
+    nodes = q.aliveNodes();
+  }
+};
+
+/// The Step-4 swap probe, full recompute: mutate both placements and re-run
+/// the whole Eq. (1) backward pass (the pre-incremental hot path).
+void BM_SwapProbeFull(benchmark::State& state) {
+  ProbeFixture f(static_cast<std::uint32_t>(state.range(0)));
+  std::size_t p = 0;
+  for (auto _ : state) {
+    const quotient::BlockId a = f.nodes[p % f.nodes.size()];
+    const quotient::BlockId b = f.nodes[(p * 7 + 1) % f.nodes.size()];
+    ++p;
+    if (a == b) continue;
+    const platform::ProcessorId pa = f.q.node(a).proc;
+    const platform::ProcessorId pb = f.q.node(b).proc;
+    f.q.setProcessor(a, pb);
+    f.q.setProcessor(b, pa);
+    benchmark::DoNotOptimize(quotient::makespanValue(f.q, f.cluster));
+    f.q.setProcessor(a, pa);
+    f.q.setProcessor(b, pb);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwapProbeFull)->Arg(36)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The same probe through the incremental evaluator: cone repair with early
+/// cutoff instead of the full pass (bit-identical results).
+void BM_SwapProbeIncremental(benchmark::State& state) {
+  ProbeFixture f(static_cast<std::uint32_t>(state.range(0)));
+  const quotient::IncrementalEvaluator eval(f.q, f.cluster);
+  quotient::IncrementalEvaluator::Scratch scratch(eval);
+  std::size_t p = 0;
+  for (auto _ : state) {
+    const quotient::BlockId a = f.nodes[p % f.nodes.size()];
+    const quotient::BlockId b = f.nodes[(p * 7 + 1) % f.nodes.size()];
+    ++p;
+    if (a == b) continue;
+    const quotient::ProcOverride overrides[2] = {{a, f.q.node(b).proc},
+                                                 {b, f.q.node(a).proc}};
+    benchmark::DoNotOptimize(eval.probeAssign(scratch, overrides));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwapProbeIncremental)->Arg(36)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The Step-3 merge probe, full path: merge, full acyclicity pass, full
+/// makespan recompute, rollback.
+void BM_MergeProbeFull(benchmark::State& state) {
+  ProbeFixture f(256);
+  std::size_t p = 0;
+  for (auto _ : state) {
+    const quotient::BlockId host = f.nodes[p % f.nodes.size()];
+    const quotient::BlockId nu = f.nodes[(p * 13 + 1) % f.nodes.size()];
+    ++p;
+    if (host == nu) continue;
+    quotient::MergeTransaction tx = f.q.merge(host, nu);
+    if (f.q.isAcyclic()) {
+      benchmark::DoNotOptimize(quotient::makespanValue(f.q, f.cluster));
+    }
+    f.q.rollback(std::move(tx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MergeProbeFull)->Unit(benchmark::kMicrosecond);
+
+/// The same probe incrementally: bounded reachability for the cycle check,
+/// cone repair for the makespan.
+void BM_MergeProbeIncremental(benchmark::State& state) {
+  ProbeFixture f(256);
+  const quotient::IncrementalEvaluator eval(f.q, f.cluster);
+  quotient::IncrementalEvaluator::Scratch scratch(eval);
+  std::vector<quotient::BlockId> seeds, dead;
+  std::size_t p = 0;
+  for (auto _ : state) {
+    const quotient::BlockId host = f.nodes[p % f.nodes.size()];
+    const quotient::BlockId nu = f.nodes[(p * 13 + 1) % f.nodes.size()];
+    ++p;
+    if (host == nu) continue;
+    if (!eval.mergeWouldCreateCycle(host, nu)) {
+      quotient::MergeTransaction tx = f.q.merge(host, nu);
+      quotient::IncrementalEvaluator::seedsOfMerge(tx, seeds, dead);
+      benchmark::DoNotOptimize(eval.probeMerged(scratch, seeds, dead));
+      f.q.rollback(std::move(tx));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MergeProbeIncremental)->Unit(benchmark::kMicrosecond);
 
 void BM_QuotientMergeRollback(benchmark::State& state) {
   const graph::Dag g = makeWorkflow(2000);

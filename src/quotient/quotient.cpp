@@ -232,6 +232,7 @@ std::optional<QuotientFluid> buildQuotientFluid(
     const platform::ProcessorId p = node.proc;
     const double speed = p == platform::kNoProcessor ? 1.0 : cluster.speed(p);
     fluid.problem.nodes[i].duration = node.work / speed;
+    fluid.problem.nodes[i].proc = p;
     fluid.problem.order[i] = i;
     // Per-destination in-edges in adjacency (map) order: the same term
     // sequence computeTimeline folds, so the uncontended pass is

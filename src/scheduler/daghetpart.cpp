@@ -80,12 +80,18 @@ ScheduleResult dagHetPartSingle(const graph::Dag& g,
     q.setMemReq(b, assignment.blocks[b].memReq);
   }
 
-  // --- Step 3: merge unassigned blocks into assigned ones.
+  // --- Step 3: merge unassigned blocks into assigned ones. Every sweep
+  // candidate builds its own IncrementalEvaluator inside the steps (probe
+  // caches are per-quotient), so the OpenMP-parallel k' sweep stays safe;
+  // fullReevaluation (or DAGPM_FULL_REEVAL=1) routes both steps through
+  // the legacy full-recompute reference instead.
   const comm::CommCostModel* commModel = commModelFor(cfg.options);
+  const bool fullReeval = useFullReevaluation(cfg.options);
   MergeStepConfig mcfg;
   mcfg.preferOffCriticalPath = cfg.preferOffCriticalPath;
   mcfg.anyHostFallback = cfg.anyHostFallback;
   mcfg.comm = commModel;
+  mcfg.fullReevaluation = fullReeval;
   const MergeStepResult merge =
       mergeUnassignedToAssigned(q, cluster, oracle, mcfg);
   result.stats.mergesCommitted = merge.mergesCommitted;
@@ -99,6 +105,7 @@ ScheduleResult dagHetPartSingle(const graph::Dag& g,
   scfg.enableSwaps = cfg.enableSwaps;
   scfg.enableIdleMoves = cfg.enableIdleMoves;
   scfg.comm = commModel;
+  scfg.fullReevaluation = fullReeval;
   const SwapStepResult swaps = improveBySwaps(q, cluster, scfg);
   result.stats.swapsCommitted = swaps.swapsCommitted;
   result.stats.idleMovesCommitted = swaps.idleMovesCommitted;

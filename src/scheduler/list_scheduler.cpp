@@ -65,6 +65,16 @@ ListScheduleResult heftSchedule(const graph::Dag& g,
   const bool contended = options.contentionAware;
   comm::LinkLoadProfile link(beta);
 
+  // Incremental pricing scratch: every inbound edge is priced once per task
+  // (remote delivery + local finish), and the per-processor fold below only
+  // needs the two best remote terms from distinct processors plus the
+  // per-processor local maximum — O(indeg + P) per task instead of
+  // rescanning all in-edges for each of the P candidates. max over doubles
+  // is exact, so the folded ready times are bit-identical to the rescans.
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> ownFinish(cluster.numProcessors(), kNegInf);
+  std::vector<ProcessorId> ownTouched;
+
 #ifndef NDEBUG
   std::vector<bool> placed(n, false);
 #endif
@@ -90,21 +100,41 @@ ListScheduleResult heftSchedule(const graph::Dag& g,
             link.price(taskFinish[g.edge(e).src], g.edge(e).cost));
       }
     }
-    for (ProcessorId p = 0; p < cluster.numProcessors(); ++p) {
-      // Data-ready time on p: communication is free within a processor.
-      double ready = 0.0;
+    // remote(p) = max remote term over parents NOT on p: top1 is the global
+    // maximum, top2 the best among parents off top1's processor, so
+    // remote(p) = (p == top1Proc ? top2 : top1). own(p) folds the free
+    // same-processor finishes.
+    double top1 = kNegInf, top2 = kNegInf;
+    ProcessorId top1Proc = platform::kNoProcessor;
+    for (const ProcessorId p : ownTouched) ownFinish[p] = kNegInf;
+    ownTouched.clear();
+    {
       std::size_t in = 0;
       for (const EdgeId e : g.inEdges(v)) {
         const VertexId u = g.edge(e).src;
         const std::size_t i = in++;
-        if (contended && result.procOfTask[u] != p) {
-          ready = std::max(ready, delivery[i]);
-          continue;
+        const ProcessorId pu = result.procOfTask[u];
+        const double remote =
+            contended ? delivery[i] : taskFinish[u] + g.edge(e).cost / beta;
+        if (ownFinish[pu] == kNegInf) ownTouched.push_back(pu);
+        ownFinish[pu] = std::max(ownFinish[pu], taskFinish[u]);
+        if (pu == top1Proc) {
+          top1 = std::max(top1, remote);
+        } else if (remote > top1) {
+          top2 = top1;  // the old global max now counts as off-processor
+          top1 = remote;
+          top1Proc = pu;
+        } else {
+          top2 = std::max(top2, remote);
         }
-        const double comm =
-            result.procOfTask[u] == p ? 0.0 : g.edge(e).cost / beta;
-        ready = std::max(ready, taskFinish[u] + comm);
       }
+    }
+    for (ProcessorId p = 0; p < cluster.numProcessors(); ++p) {
+      // Data-ready time on p: communication is free within a processor.
+      double ready = 0.0;
+      const double remoteMax = p == top1Proc ? top2 : top1;
+      if (remoteMax > ready) ready = remoteMax;
+      if (ownFinish[p] > ready) ready = ownFinish[p];
       const double duration = g.work(v) / cluster.speed(p);
       // Insertion policy: earliest idle gap on p that fits `duration`
       // starting no earlier than `ready` (busy is kept start-sorted).

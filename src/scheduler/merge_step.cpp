@@ -7,6 +7,8 @@
 #include <map>
 #include <set>
 
+#include "quotient/incremental.hpp"
+
 namespace dagpm::scheduler {
 
 using quotient::BlockId;
@@ -22,13 +24,24 @@ struct CandidateOutcome {
   double mergedMemReq = 0.0;
 };
 
+/// Reusable buffers of the incremental probe path.
+struct ProbeBuffers {
+  quotient::IncrementalEvaluator::Scratch scratch;
+  std::vector<BlockId> seeds, dead, seeds2, dead2;
+};
+
 /// FindMSOptMerge (Algorithm 3): finds the best feasible merge of `nu` into
 /// an assigned neighbor from `allowed`. All merges are tentative; the
-/// quotient is restored before returning.
+/// quotient is restored before returning. With a non-null `eval`, cycle
+/// detection runs as a bounded reachability query on the committed
+/// structure and the makespan probes repair only the affected cone; the
+/// null-eval path is the legacy full recompute (differential reference).
 CandidateOutcome findMsOptMerge(quotient::QuotientGraph& q,
                                 const platform::Cluster& cluster,
                                 const memory::MemDagOracle& oracle,
                                 const comm::CommCostModel* comm,
+                                quotient::IncrementalEvaluator* eval,
+                                ProbeBuffers* buffers,
                                 BlockId nu, const std::set<BlockId>& allowed,
                                 bool neighborsOnly, int maxProbes = -1,
                                 bool firstFeasibleWins = false) {
@@ -68,14 +81,21 @@ CandidateOutcome findMsOptMerge(quotient::QuotientGraph& q,
   }
 
   for (const BlockId host : candidates) {
+    // With the evaluator, detect the cycle before merging: a bounded
+    // reachability query on the committed structure replaces the full
+    // post-merge isAcyclic() pass.
+    bool knownCyclic = false;
+    if (eval != nullptr) knownCyclic = eval->mergeWouldCreateCycle(host, nu);
     // Tentatively absorb nu into the host (the host keeps its processor).
     quotient::MergeTransaction tx1 = q.merge(host, nu);
+    assert(eval == nullptr || knownCyclic == !q.isAcyclic());
     std::optional<quotient::MergeTransaction> tx2;
     BlockId third = kNoBlock;
     bool viable = true;
-    if (!q.isAcyclic()) {
+    if (eval != nullptr ? knownCyclic : !q.isAcyclic()) {
       // A 2-cycle can be repaired by absorbing the partner (paper Fig. 2);
-      // anything longer discards the candidate.
+      // anything longer discards the candidate. Rare path: the full
+      // acyclicity check after the repair merge stays.
       const auto partner = q.twoCyclePartner(host);
       if (partner) {
         tx2 = q.merge(host, *partner);
@@ -92,8 +112,28 @@ CandidateOutcome findMsOptMerge(quotient::QuotientGraph& q,
     if (viable) {
       const double memReq = oracle.blockRequirement(q.node(host).members);
       if (memReq <= cluster.memory(q.node(host).proc)) {
-        // Null comm keeps the legacy uncontended recurrence byte-for-byte.
-        const auto makespan = quotient::makespanValue(q, cluster, comm);
+        std::optional<double> makespan;
+        if (eval != nullptr) {
+          // Incremental probe: repair the cone the merge dirtied (both
+          // transactions when a 2-cycle repair was needed).
+          quotient::IncrementalEvaluator::seedsOfMerge(tx1, buffers->seeds,
+                                                       buffers->dead);
+          if (tx2) {
+            quotient::IncrementalEvaluator::seedsOfMerge(
+                *tx2, buffers->seeds2, buffers->dead2);
+            buffers->seeds.insert(buffers->seeds.end(),
+                                  buffers->seeds2.begin(),
+                                  buffers->seeds2.end());
+            buffers->dead.insert(buffers->dead.end(), buffers->dead2.begin(),
+                                 buffers->dead2.end());
+          }
+          makespan = eval->probeMerged(buffers->scratch, buffers->seeds,
+                                       buffers->dead);
+        } else {
+          // Null comm keeps the legacy uncontended recurrence
+          // byte-for-byte.
+          makespan = quotient::makespanValue(q, cluster, comm);
+        }
         assert(makespan.has_value());
         if (*makespan <= best.makespan) {
           best.makespan = *makespan;
@@ -142,6 +182,18 @@ MergeStepResult mergeUnassignedToAssigned(quotient::QuotientGraph& q,
     result.success = true;
     return result;
   }
+  // The incremental evaluator serves every probe of the main loop; each
+  // committed merge rebuilds its caches (once per merge, not per probe).
+  std::optional<quotient::IncrementalEvaluator> eval;
+  std::optional<ProbeBuffers> buffers;
+  if (!cfg.fullReevaluation) {
+    eval.emplace(q, cluster, cfg.comm);
+    buffers.emplace();
+    buffers->scratch = quotient::IncrementalEvaluator::Scratch(*eval);
+  }
+  quotient::IncrementalEvaluator* evalPtr = eval ? &*eval : nullptr;
+  ProbeBuffers* buffersPtr = buffers ? &*buffers : nullptr;
+
   // Progress-based deferral bookkeeping: merge count at a node's last
   // failed attempt (see below).
   std::map<BlockId, std::uint32_t> mergesAtLastFailure;
@@ -154,19 +206,26 @@ MergeStepResult mergeUnassignedToAssigned(quotient::QuotientGraph& q,
 
     // Critical path of the current estimated makespan (under the configured
     // cost model: contention moves the path toward transfer-heavy chains).
-    const quotient::MakespanResult ms = computeMakespan(q, cluster, cfg.comm);
-    assert(ms.acyclic);
     std::set<BlockId> offPath = assigned;
     if (cfg.preferOffCriticalPath) {
-      for (const BlockId b : ms.criticalPath) offPath.erase(b);
+      if (evalPtr != nullptr) {
+        // Committed-cache walk, bit-identical to computeMakespan's path.
+        for (const BlockId b : evalPtr->criticalPath()) offPath.erase(b);
+      } else {
+        const quotient::MakespanResult ms =
+            computeMakespan(q, cluster, cfg.comm);
+        assert(ms.acyclic);
+        for (const BlockId b : ms.criticalPath) offPath.erase(b);
+      }
     }
 
-    CandidateOutcome outcome = findMsOptMerge(q, cluster, oracle, cfg.comm,
-                                              nu, offPath,
-                                              /*neighborsOnly=*/true);
+    CandidateOutcome outcome =
+        findMsOptMerge(q, cluster, oracle, cfg.comm, evalPtr, buffersPtr, nu,
+                       offPath, /*neighborsOnly=*/true);
     if (outcome.target == kNoBlock && cfg.preferOffCriticalPath) {
       // No feasible merge off the critical path; allow merges anywhere.
-      outcome = findMsOptMerge(q, cluster, oracle, cfg.comm, nu, assigned,
+      outcome = findMsOptMerge(q, cluster, oracle, cfg.comm, evalPtr,
+                               buffersPtr, nu, assigned,
                                /*neighborsOnly=*/true);
     }
     if (outcome.target == kNoBlock && cfg.anyHostFallback &&
@@ -180,7 +239,8 @@ MergeStepResult mergeUnassignedToAssigned(quotient::QuotientGraph& q,
       // are slack-ordered, first-feasible-wins, and budgeted so rescue
       // attempts cannot dominate the runtime of large instances.
       const int probes = std::min(rescueProbesLeft, cfg.maxRescueProbes);
-      outcome = findMsOptMerge(q, cluster, oracle, cfg.comm, nu, assigned,
+      outcome = findMsOptMerge(q, cluster, oracle, cfg.comm, evalPtr,
+                               buffersPtr, nu, assigned,
                                /*neighborsOnly=*/false, probes,
                                /*firstFeasibleWins=*/true);
       rescueProbesLeft -= probes;
@@ -196,6 +256,7 @@ MergeStepResult mergeUnassignedToAssigned(quotient::QuotientGraph& q,
       if (outcome.third != kNoBlock) q.merge(outcome.target, outcome.third);
       q.setMemReq(outcome.target, outcome.mergedMemReq);
       if (outcome.third != kNoBlock) assigned.erase(outcome.third);
+      if (evalPtr != nullptr) evalPtr->rebuild();  // structural commit
       ++result.mergesCommitted;
       continue;
     }

@@ -43,6 +43,10 @@ struct MergeStepConfig {
   /// recurrence (the legacy code path, bit-identical to pre-model builds);
   /// &comm::fairShareCommModel() = contention-aware merging.
   const comm::CommCostModel* comm = nullptr;
+  /// Probe every merge candidate with the full recompute (acyclicity pass +
+  /// whole-quotient makespan) instead of the quotient::IncrementalEvaluator
+  /// delta path (differential reference; bit-identical results).
+  bool fullReevaluation = false;
 };
 
 struct MergeStepResult {

@@ -1,0 +1,16 @@
+#include "scheduler/options.hpp"
+
+#include <cstdlib>
+
+namespace dagpm::scheduler {
+
+bool fullReevaluationForced() {
+  static const bool forced = [] {
+    const char* value = std::getenv("DAGPM_FULL_REEVAL");
+    return value != nullptr && *value != '\0' &&
+           !(value[0] == '0' && value[1] == '\0');
+  }();
+  return forced;
+}
+
+}  // namespace dagpm::scheduler

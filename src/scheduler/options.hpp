@@ -14,6 +14,13 @@ struct SchedulerOptions {
   /// scoring, the Step-4 swap/idle-move search, the k'-sweep selection and
   /// the reported makespan all optimize the contended physics.
   bool contentionAware = false;
+  /// Escape hatch: evaluate every Step-3/4 probe with the full O(V+E)
+  /// recompute instead of the quotient::IncrementalEvaluator delta path.
+  /// Schedules are bit-identical either way (fuzz- and baseline-enforced);
+  /// the full mode is kept as the differential reference and for the
+  /// bench/scheduler_scaling speedup measurement. DAGPM_FULL_REEVAL=1
+  /// forces it process-wide (see fullReevaluationForced).
+  bool fullReevaluation = false;
 };
 
 /// The cost model selected by the options: nullptr = the legacy uncontended
@@ -22,6 +29,16 @@ struct SchedulerOptions {
 inline const comm::CommCostModel* commModelFor(
     const SchedulerOptions& options) {
   return options.contentionAware ? &comm::fairShareCommModel() : nullptr;
+}
+
+/// True when DAGPM_FULL_REEVAL is set to a non-empty value other than "0":
+/// the process-wide escape hatch disabling incremental evaluation. Read
+/// once and cached.
+bool fullReevaluationForced();
+
+/// The effective full-reevaluation switch for a scheduler run.
+inline bool useFullReevaluation(const SchedulerOptions& options) {
+  return options.fullReevaluation || fullReevaluationForced();
 }
 
 }  // namespace dagpm::scheduler

@@ -2,16 +2,33 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+#include <limits>
 #include <set>
+#include <vector>
+
+#include "quotient/incremental.hpp"
 
 namespace dagpm::scheduler {
 
 using platform::ProcessorId;
 using quotient::BlockId;
 
-SwapStepResult improveBySwaps(quotient::QuotientGraph& q,
-                              const platform::Cluster& cluster,
-                              const SwapStepConfig& cfg) {
+namespace {
+
+/// The equal-speed prune is only sound when the cost model provably ignores
+/// placement (the makespan then depends on speeds alone): under a per-link
+/// model an equal-speed swap still reroutes transfers and can change the
+/// contended makespan, so such models must be probed.
+bool canPruneEqualSpeed(const comm::CommCostModel* comm) {
+  return comm == nullptr || comm->placementInvariant();
+}
+
+/// The legacy full-recompute loop, kept verbatim as the differential
+/// reference for the incremental path (DAGPM_FULL_REEVAL=1 routes here).
+SwapStepResult improveBySwapsFull(quotient::QuotientGraph& q,
+                                  const platform::Cluster& cluster,
+                                  const SwapStepConfig& cfg) {
   SwapStepResult result;
   // Null model keeps the legacy uncontended recurrence byte-for-byte.
   const auto evalMakespan = [&]() {
@@ -22,6 +39,7 @@ SwapStepResult improveBySwaps(quotient::QuotientGraph& q,
   result.makespan = *current;
 
   const std::vector<BlockId> nodes = q.aliveNodes();
+  const bool pruneEqualSpeed = canPruneEqualSpeed(cfg.comm);
 
   if (cfg.enableSwaps) {
     // Algorithm 5: repeatedly execute the best improving feasible swap.
@@ -36,7 +54,9 @@ SwapStepResult improveBySwaps(quotient::QuotientGraph& q,
           const ProcessorId pa = q.node(a).proc;
           const ProcessorId pb = q.node(b).proc;
           if (pa == pb) continue;
-          if (cluster.speed(pa) == cluster.speed(pb)) continue;  // no effect
+          if (pruneEqualSpeed && cluster.speed(pa) == cluster.speed(pb)) {
+            continue;  // no effect under a placement-invariant model
+          }
           // Feasible iff each block fits the other's processor memory.
           if (q.node(a).memReq > cluster.memory(pb) ||
               q.node(b).memReq > cluster.memory(pa)) {
@@ -107,6 +127,140 @@ SwapStepResult improveBySwaps(quotient::QuotientGraph& q,
           break;  // critical path changed; recompute it
         }
         q.setProcessor(b, from);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+SwapStepResult improveBySwaps(quotient::QuotientGraph& q,
+                              const platform::Cluster& cluster,
+                              const SwapStepConfig& cfg) {
+  if (cfg.fullReevaluation) return improveBySwapsFull(q, cluster, cfg);
+
+  SwapStepResult result;
+  quotient::IncrementalEvaluator eval(q, cluster, cfg.comm);
+  result.makespan = eval.makespan();
+
+  const std::vector<BlockId> nodes = q.aliveNodes();
+  const bool pruneEqualSpeed = canPruneEqualSpeed(cfg.comm);
+
+  if (cfg.enableSwaps) {
+    // Algorithm 5 with materialized probes: each round evaluates every
+    // feasible pair (in parallel — probes only write per-thread scratch),
+    // then replays the sequential acceptance rule over the stored
+    // makespans, which keeps the committed swap sequence bit-identical to
+    // the legacy loop for any OpenMP thread count.
+    struct PairCandidate {
+      std::uint32_t i = 0, j = 0;
+    };
+    std::vector<PairCandidate> pairs;
+    std::vector<double> makespans;
+    for (std::uint32_t round = 0; round < cfg.maxSwapRounds; ++round) {
+      pairs.clear();
+      for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+        for (std::uint32_t j = i + 1; j < nodes.size(); ++j) {
+          const BlockId a = nodes[i];
+          const BlockId b = nodes[j];
+          const ProcessorId pa = q.node(a).proc;
+          const ProcessorId pb = q.node(b).proc;
+          if (pa == pb) continue;
+          if (pruneEqualSpeed && cluster.speed(pa) == cluster.speed(pb)) {
+            continue;  // no effect under a placement-invariant model
+          }
+          // Feasible iff each block fits the other's processor memory.
+          if (q.node(a).memReq > cluster.memory(pb) ||
+              q.node(b).memReq > cluster.memory(pa)) {
+            continue;
+          }
+          pairs.push_back({i, j});
+        }
+      }
+      makespans.assign(pairs.size(),
+                       std::numeric_limits<double>::infinity());
+      const std::int64_t numPairs = static_cast<std::int64_t>(pairs.size());
+#pragma omp parallel if (numPairs > 1)
+      {
+        quotient::IncrementalEvaluator::Scratch scratch(eval);
+#pragma omp for schedule(static)
+        for (std::int64_t idx = 0; idx < numPairs; ++idx) {
+          const BlockId a = nodes[pairs[static_cast<std::size_t>(idx)].i];
+          const BlockId b = nodes[pairs[static_cast<std::size_t>(idx)].j];
+          const quotient::ProcOverride overrides[2] = {
+              {a, q.node(b).proc}, {b, q.node(a).proc}};
+          makespans[static_cast<std::size_t>(idx)] =
+              eval.probeAssign(scratch, overrides);
+        }
+      }
+      double bestMakespan = result.makespan;
+      BlockId bestA = quotient::kNoBlock;
+      BlockId bestB = quotient::kNoBlock;
+      for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+        if (makespans[idx] < bestMakespan - 1e-12) {
+          bestMakespan = makespans[idx];
+          bestA = nodes[pairs[idx].i];
+          bestB = nodes[pairs[idx].j];
+        }
+      }
+      if (bestA == quotient::kNoBlock) break;  // no improving swap exists
+      const ProcessorId pa = q.node(bestA).proc;
+      const ProcessorId pb = q.node(bestB).proc;
+      q.setProcessor(bestA, pb);
+      q.setProcessor(bestB, pa);
+      const BlockId dirty[2] = {bestA, bestB};
+      eval.commitAssign(dirty);
+      assert(eval.makespan() == bestMakespan);
+      result.makespan = bestMakespan;
+      ++result.swapsCommitted;
+    }
+  }
+
+  if (cfg.enableIdleMoves) {
+    quotient::IncrementalEvaluator::Scratch scratch(eval);
+    std::set<ProcessorId> idle;
+    for (ProcessorId p = 0; p < cluster.numProcessors(); ++p) idle.insert(p);
+    for (const BlockId b : nodes) idle.erase(q.node(b).proc);
+
+    std::set<BlockId> moved;
+    bool progress = true;
+    while (progress && !idle.empty()) {
+      progress = false;
+      // The committed critical path, derived from the cached passes
+      // (bit-identical to computeMakespan's, including tie-breaks). Taken
+      // by value: a committed move below invalidates the evaluator's cache
+      // while this loop is still live.
+      const std::vector<BlockId> path = eval.criticalPath();
+      for (const BlockId b : path) {
+        if (moved.count(b) > 0) continue;
+        const ProcessorId from = q.node(b).proc;
+        ProcessorId best = platform::kNoProcessor;
+        for (const ProcessorId p : idle) {
+          if (cluster.speed(p) <= cluster.speed(from)) continue;
+          if (q.node(b).memReq > cluster.memory(p)) continue;
+          if (best == platform::kNoProcessor ||
+              cluster.speed(p) > cluster.speed(best) ||
+              (cluster.speed(p) == cluster.speed(best) &&
+               cluster.memory(p) > cluster.memory(best))) {
+            best = p;
+          }
+        }
+        if (best == platform::kNoProcessor) continue;
+        const quotient::ProcOverride overrides[1] = {{b, best}};
+        const double makespan = eval.probeAssign(scratch, overrides);
+        if (makespan < result.makespan - 1e-12) {
+          q.setProcessor(b, best);
+          const BlockId dirty[1] = {b};
+          eval.commitAssign(dirty);
+          idle.erase(best);
+          idle.insert(from);
+          moved.insert(b);
+          result.makespan = makespan;
+          ++result.idleMovesCommitted;
+          progress = true;
+          break;  // critical path changed; recompute it
+        }
       }
     }
   }

@@ -7,6 +7,16 @@
 // processors stayed idle, blocks on the critical path are moved to faster
 // idle processors that can hold them, as long as doing so improves the
 // makespan.
+//
+// The default implementation evaluates every candidate through
+// quotient::IncrementalEvaluator (cone repair instead of a full O(V+E)
+// recompute per probe) and scans the O(n^2) swap candidates in parallel
+// with OpenMP: probes are pure (per-thread scratch over a const quotient),
+// all candidate makespans are materialized, and the winning pair is then
+// selected by replaying the sequential acceptance rule over the stored
+// values — so the result is bit-identical to the sequential scan for any
+// thread count. fullReevaluation (or DAGPM_FULL_REEVAL=1) switches to the
+// legacy full-recompute loop, kept verbatim as the differential reference.
 
 #include "comm/cost_model.hpp"
 #include "platform/cluster.hpp"
@@ -23,6 +33,9 @@ struct SwapStepConfig {
   /// &comm::fairShareCommModel() = contention-aware local search. The
   /// returned makespan is priced under the same model.
   const comm::CommCostModel* comm = nullptr;
+  /// Probe every candidate with the full recompute instead of the
+  /// incremental evaluator (differential reference; bit-identical results).
+  bool fullReevaluation = false;
 };
 
 struct SwapStepResult {

@@ -9,16 +9,22 @@
 
 #include <cmath>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "graph/generators.hpp"
 #include "graph/topology.hpp"
 #include "memory/oracle.hpp"
 #include "partition/partitioner.hpp"
+#include "quotient/incremental.hpp"
 #include "quotient/quotient.hpp"
 #include "quotient/timeline.hpp"
 #include "resched/resched.hpp"
 #include "scheduler/daghetmem.hpp"
 #include "scheduler/daghetpart.hpp"
 #include "scheduler/solution.hpp"
+#include "scheduler/swap_step.hpp"
 #include "sim/engine.hpp"
 #include "support/rng.hpp"
 #include "test_util.hpp"
@@ -271,6 +277,215 @@ TEST_P(SpliceFuzz, ForcedSplicesStayConsistentWithTheStaticModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpliceFuzz,
                          testing::ValuesIn(fuzzSeeds(16)));
+
+/// Differential fuzz for the incremental makespan evaluator: random
+/// mutation sequences (moves, swaps, merge probes with rollback, committed
+/// merges incl. 2-cycle repairs through the merge step itself) must agree
+/// with the full recompute bit-exactly under the null/uncontended model and
+/// to 1e-9 under the fair-share model.
+class IncrementalFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+struct EvalFuzzCase {
+  Dag dag;
+  platform::Cluster cluster;
+  std::vector<std::uint32_t> blockOf;
+  std::uint32_t numBlocks = 0;
+};
+
+EvalFuzzCase makeEvalFuzzCase(std::uint64_t seed) {
+  EvalFuzzCase fc;
+  support::Rng rng(seed * 613 + 29);
+  fc.dag = test::randomLayeredDag(4 + static_cast<int>(rng.uniformInt(0, 4)),
+                                  3 + static_cast<int>(rng.uniformInt(0, 4)),
+                                  1 + static_cast<int>(rng.uniformInt(0, 2)),
+                                  seed * 31 + 11);
+  partition::PartitionConfig pcfg;
+  pcfg.numParts = 5 + static_cast<std::uint32_t>(rng.uniformInt(0, 7));
+  pcfg.seed = seed;
+  const auto pr = partition::partitionAcyclic(fc.dag, pcfg);
+  fc.blockOf = pr.blockOf;
+  fc.numBlocks = pr.numBlocks;
+  std::vector<platform::Processor> procs;
+  const int k = 3 + static_cast<int>(rng.uniformInt(0, 5));
+  for (int p = 0; p < k; ++p) {
+    procs.push_back({"p" + std::to_string(p),
+                     static_cast<double>(rng.uniformInt(1, 8)), 1e9});
+  }
+  fc.cluster =
+      platform::Cluster(std::move(procs), 0.5 + rng.uniformReal() * 3.0);
+  return fc;
+}
+
+/// One fuzzed mutation sequence against the given model; `compare` asserts
+/// agreement between an incremental and a full evaluation of the makespan.
+template <typename Compare>
+void runIncrementalMutationFuzz(std::uint64_t seed,
+                                const comm::CommCostModel* model,
+                                Compare&& compare) {
+  const EvalFuzzCase fc = makeEvalFuzzCase(seed);
+  quotient::QuotientGraph q(fc.dag, fc.blockOf, fc.numBlocks);
+  support::Rng rng(seed ^ 0x5eedf00d);
+  const auto numProcs =
+      static_cast<std::int64_t>(fc.cluster.numProcessors());
+  for (const BlockId b : q.aliveNodes()) {
+    // ~1 in 5 blocks stays unassigned (the Step-3 probing regime).
+    if (!rng.bernoulli(0.2)) {
+      q.setProcessor(b, static_cast<platform::ProcessorId>(
+                            rng.uniformInt(0, numProcs - 1)));
+    }
+  }
+  quotient::IncrementalEvaluator eval(q, fc.cluster, model);
+  quotient::IncrementalEvaluator::Scratch scratch(eval);
+  std::vector<BlockId> seeds, dead;
+
+  const auto fullMakespan = [&]() {
+    const auto full = quotient::makespanValue(q, fc.cluster, model);
+    ASSERT_TRUE(full.has_value());
+    compare(eval.makespan(), *full);
+  };
+  const auto randomProc = [&]() {
+    return rng.bernoulli(0.15)
+               ? platform::kNoProcessor
+               : static_cast<platform::ProcessorId>(
+                     rng.uniformInt(0, numProcs - 1));
+  };
+  const auto randomAlive = [&]() {
+    const auto alive = q.aliveNodes();
+    return alive[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(alive.size()) - 1))];
+  };
+
+  for (int step = 0; step < 40; ++step) {
+    if (q.numAlive() < 3) break;
+    switch (rng.uniformInt(0, 4)) {
+      case 0: {  // tentative move (probe + full cross-check, then discard)
+        const BlockId b = randomAlive();
+        const platform::ProcessorId p = randomProc();
+        const quotient::ProcOverride overrides[1] = {{b, p}};
+        const double probed = eval.probeAssign(scratch, overrides);
+        const platform::ProcessorId saved = q.node(b).proc;
+        q.setProcessor(b, p);
+        const auto full = quotient::makespanValue(q, fc.cluster, model);
+        q.setProcessor(b, saved);
+        ASSERT_TRUE(full.has_value());
+        compare(probed, *full);
+        break;
+      }
+      case 1: {  // tentative swap
+        const BlockId a = randomAlive();
+        BlockId b = a;
+        while (b == a) b = randomAlive();
+        const platform::ProcessorId pa = q.node(a).proc;
+        const platform::ProcessorId pb = q.node(b).proc;
+        const quotient::ProcOverride overrides[2] = {{a, pb}, {b, pa}};
+        const double probed = eval.probeAssign(scratch, overrides);
+        q.setProcessor(a, pb);
+        q.setProcessor(b, pa);
+        const auto full = quotient::makespanValue(q, fc.cluster, model);
+        q.setProcessor(a, pa);
+        q.setProcessor(b, pb);
+        ASSERT_TRUE(full.has_value());
+        compare(probed, *full);
+        break;
+      }
+      case 2: {  // committed move
+        const BlockId b = randomAlive();
+        q.setProcessor(b, randomProc());
+        const BlockId dirty[1] = {b};
+        eval.commitAssign(dirty);
+        break;
+      }
+      case 3: {  // merge probe + rollback (incl. the cycle prediction)
+        const BlockId host = randomAlive();
+        BlockId nu = host;
+        while (nu == host) nu = randomAlive();
+        const bool predicted = eval.mergeWouldCreateCycle(host, nu);
+        quotient::MergeTransaction tx = q.merge(host, nu);
+        ASSERT_EQ(predicted, !q.isAcyclic());
+        if (!predicted) {
+          quotient::IncrementalEvaluator::seedsOfMerge(tx, seeds, dead);
+          const double probed = eval.probeMerged(scratch, seeds, dead);
+          const auto full = quotient::makespanValue(q, fc.cluster, model);
+          ASSERT_TRUE(full.has_value());
+          compare(probed, *full);
+        }
+        q.rollback(std::move(tx));
+        break;
+      }
+      case 4: {  // committed merge (acyclicity-checked) + structural rebuild
+        const BlockId host = randomAlive();
+        BlockId nu = host;
+        while (nu == host) nu = randomAlive();
+        if (eval.mergeWouldCreateCycle(host, nu)) break;
+        q.merge(host, nu);
+        eval.rebuild();
+        break;
+      }
+    }
+    fullMakespan();
+  }
+  // Final cross-check against the forward pass as well. The forward and
+  // backward passes fold the same path weights in different association
+  // orders, so they agree to rounding (not bitwise) on fractional weights;
+  // the evaluator's bit-exactness contract is against makespanValue — the
+  // backward recurrence the searches evaluate.
+  if (model == nullptr) {
+    const double forward = quotient::computeTimeline(q, fc.cluster).makespan;
+    ASSERT_NEAR(eval.makespan(), forward, 1e-9 * std::max(1.0, forward));
+  }
+}
+
+TEST_P(IncrementalFuzz, MutationSequencesMatchFullRecomputeBitExact) {
+  runIncrementalMutationFuzz(GetParam(), nullptr,
+                             [](double incremental, double full) {
+                               ASSERT_EQ(incremental, full);
+                             });
+}
+
+TEST_P(IncrementalFuzz, MutationSequencesMatchFairShareModelTo1em9) {
+  runIncrementalMutationFuzz(
+      GetParam(), &comm::fairShareCommModel(),
+      [](double incremental, double full) {
+        ASSERT_NEAR(incremental, full, 1e-9 * std::max(1.0, full));
+      });
+}
+
+TEST_P(IncrementalFuzz, ParallelSwapScanIsThreadCountReproducible) {
+  const EvalFuzzCase fc = makeEvalFuzzCase(GetParam() * 7 + 3);
+  quotient::QuotientGraph base(fc.dag, fc.blockOf, fc.numBlocks);
+  std::uint32_t i = 0;
+  for (const BlockId b : base.aliveNodes()) {
+    base.setProcessor(b, static_cast<platform::ProcessorId>(
+                             i++ % fc.cluster.numProcessors()));
+    base.setMemReq(b, 1.0);
+  }
+  const auto run = [&](int threads, bool full) {
+    quotient::QuotientGraph q = base;  // value copy: independent state
+#ifdef _OPENMP
+    const int saved = omp_get_max_threads();
+    if (threads > 0) omp_set_num_threads(threads);
+#endif
+    scheduler::SwapStepConfig cfg;
+    cfg.fullReevaluation = full;
+    const scheduler::SwapStepResult result =
+        scheduler::improveBySwaps(q, fc.cluster, cfg);
+#ifdef _OPENMP
+    omp_set_num_threads(saved);
+#endif
+    std::vector<platform::ProcessorId> procs;
+    for (const BlockId b : q.aliveNodes()) procs.push_back(q.node(b).proc);
+    return std::make_tuple(result.makespan, result.swapsCommitted,
+                           result.idleMovesCommitted, std::move(procs));
+  };
+  const auto single = run(1, false);
+  const auto parallel = run(3, false);
+  const auto reference = run(1, true);
+  EXPECT_EQ(single, parallel);  // bit-identical for any thread count
+  EXPECT_EQ(single, reference);  // and identical to the full recompute
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalFuzz,
+                         testing::ValuesIn(fuzzSeeds(12)));
 
 }  // namespace
 }  // namespace dagpm

@@ -3,8 +3,9 @@
 
 Compares a freshly produced bench JSON document against a recorded baseline
 (bench/baselines/BENCH_<name>.<scale>.json) and fails when any non-timing
-numeric column drifts beyond the tolerance. Wall-clock columns (``*_seconds``,
-``*_runtime_ratio``) are machine-dependent and always ignored; everything
+numeric column drifts beyond the tolerance. Machine-dependent columns
+(``*_seconds``, ``*_runtime_ratio``, and ``*_rss_mb`` memory footprints)
+are always ignored; everything
 else (makespans, ratios, schedulability counts, robustness slowdowns) is
 deterministic for a fixed scale/seed configuration and must reproduce.
 
@@ -21,7 +22,7 @@ import argparse
 import json
 import sys
 
-IGNORED_SUFFIXES = ("_seconds", "_runtime_ratio")
+IGNORED_SUFFIXES = ("_seconds", "_runtime_ratio", "_rss_mb")
 
 
 def row_key(row):

@@ -210,9 +210,9 @@ void BM_QuotientMergeRollback(benchmark::State& state) {
   // Pick an adjacent alive pair to merge/rollback repeatedly.
   quotient::BlockId a = quotient::kNoBlock, b = quotient::kNoBlock;
   for (const auto node : q.aliveNodes()) {
-    if (!q.node(node).out.empty()) {
+    if (!q.out(node).empty()) {
       a = node;
-      b = q.node(node).out.begin()->first;
+      b = q.out(node).begin()->first;
       break;
     }
   }

@@ -30,6 +30,7 @@ BASE_DOC = {
             "geomean_makespan": 123.25,
             "mean_seconds": 0.5,
             "geomean_runtime_ratio": 1.5,
+            "peak_rss_mb": 512.0,
         },
         {
             "config": "sigma0.2",
@@ -97,6 +98,14 @@ class CompareBenchJsonTest(unittest.TestCase):
         current["rows"][0]["mean_seconds"] = 9999.0
         current["rows"][0]["geomean_runtime_ratio"] = 42.0
         current["overall"]["mean_seconds"] = 1234.0
+        result = run_checker(BASE_DOC, current)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_rss_columns_are_ignored(self):
+        # Peak RSS is machine-dependent (allocator, page size, ASLR), so a
+        # drifted *_rss_mb column must never gate.
+        current = copy.deepcopy(BASE_DOC)
+        current["rows"][0]["peak_rss_mb"] = 99999.0
         result = run_checker(BASE_DOC, current)
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
 

@@ -102,7 +102,15 @@ Level coarsenOnce(const graph::Dag& dag,
     if (cu == cv) continue;
     edgeWeight[(static_cast<std::uint64_t>(cu) << 32) | cv] += edge.cost;
   }
-  for (const auto& [key, cost] : edgeWeight) {
+  // Emit in sorted (src, dst) key order, NOT unordered_map iteration
+  // order: coarse edge ids feed every RNG-coupled decision downstream in
+  // bisect/FM, so the emission order must be identical across standard
+  // library implementations for partitions to reproduce.
+  std::vector<std::pair<std::uint64_t, double>> sortedEdges(
+      edgeWeight.begin(), edgeWeight.end());
+  std::sort(sortedEdges.begin(), sortedEdges.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, cost] : sortedEdges) {
     level.dag.addEdge(static_cast<VertexId>(key >> 32),
                       static_cast<VertexId>(key & 0xffffffffu), cost);
   }

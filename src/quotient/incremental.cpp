@@ -56,32 +56,6 @@ void IncrementalEvaluator::rebuild() {
   pos_.assign(q_->numSlots(), 0);
   for (std::uint32_t i = 0; i < order_.size(); ++i) pos_[order_[i]] = i;
 
-  // CSR mirror of the committed adjacency, entries in map order (the fold
-  // order bit-identity depends on) with the division by beta hoisted.
-  const double csrBeta = cluster_->bandwidth();
-  outStart_.assign(q_->numSlots() + 1, 0);
-  inStart_.assign(q_->numSlots() + 1, 0);
-  outChild_.clear();
-  outCostBeta_.clear();
-  inParent_.clear();
-  inCostBeta_.clear();
-  for (BlockId b = 0; b < q_->numSlots(); ++b) {
-    outStart_[b] = static_cast<std::uint32_t>(outChild_.size());
-    inStart_[b] = static_cast<std::uint32_t>(inParent_.size());
-    const QNode& node = q_->node(b);
-    if (!node.alive) continue;
-    for (const auto& [child, cost] : node.out) {
-      outChild_.push_back(child);
-      outCostBeta_.push_back(cost / csrBeta);
-    }
-    for (const auto& [parent, cost] : node.in) {
-      inParent_.push_back(parent);
-      inCostBeta_.push_back(cost / csrBeta);
-    }
-  }
-  outStart_[q_->numSlots()] = static_cast<std::uint32_t>(outChild_.size());
-  inStart_[q_->numSlots()] = static_cast<std::uint32_t>(inParent_.size());
-
   // The exact recurrence of quotient::makespanValue: bottom weights in
   // reverse topological order, makespan = running max.
   bottom_.assign(q_->numSlots(), 0.0);
@@ -93,7 +67,7 @@ void IncrementalEvaluator::rebuild() {
     const BlockId b = *it;
     const QNode& node = q_->node(b);
     double best = 0.0;
-    for (const auto& [child, cost] : node.out) {
+    for (const auto& [child, cost] : q_->out(b)) {
       best = std::max(best, cost / beta + bottom_[child]);
     }
     const platform::ProcessorId p = node.proc;
@@ -164,27 +138,26 @@ double IncrementalEvaluator::repair(Scratch& s,
   }
 
   if (structural) {
-    // The live adjacency differs from the committed CSR after a tentative
-    // merge; fold the quotient's maps (the legacy order) until a fixpoint.
+    // The live adjacency differs from the committed one after a tentative
+    // merge; fold the current spans until a fixpoint.
     while (!s.heap.empty()) {
       std::pop_heap(s.heap.begin(), s.heap.end());
       const BlockId b = s.heap.back().second;
       s.heap.pop_back();
       s.queued[b] = 0;
 
-      const QNode& node = q_->node(b);
       double best = 0.0;
-      for (const auto& [child, cost] : node.out) {
+      for (const auto& [child, cost] : q_->out(b)) {
         best = std::max(best, cost / beta + effective(child));
       }
-      const double newValue = node.work / speedOf(b, overrides) + best;
+      const double newValue = q_->node(b).work / speedOf(b, overrides) + best;
       if (newValue == effective(b)) continue;  // early cutoff
       if (s.stamp[b] != s.epoch) {
         s.stamp[b] = s.epoch;
         s.touched.push_back(b);
       }
       s.value[b] = newValue;
-      for (const auto& [parent, cost] : node.in) push(parent);
+      for (const auto& [parent, cost] : q_->in(b)) push(parent);
     }
   } else {
     // Hot path (Step-4 probes, processor-only commits): the topology
@@ -205,9 +178,8 @@ double IncrementalEvaluator::repair(Scratch& s,
       double best;
       if (s.refold[b] == s.epoch) {
         best = 0.0;
-        const std::uint32_t end = outStart_[b + 1];
-        for (std::uint32_t i = outStart_[b]; i < end; ++i) {
-          best = std::max(best, outCostBeta_[i] + effective(outChild_[i]));
+        for (const auto& [child, cost] : q_->out(b)) {
+          best = std::max(best, cost / beta + effective(child));
         }
         if (s.bestStamp[b] != s.epoch) {
           s.bestStamp[b] = s.epoch;
@@ -225,16 +197,14 @@ double IncrementalEvaluator::repair(Scratch& s,
       s.value[b] = newValue;
 
       // Patch every parent's best term: old contribution out, new one in.
-      const std::uint32_t end = inStart_[b + 1];
-      for (std::uint32_t i = inStart_[b]; i < end; ++i) {
-        const BlockId p = inParent_[i];
+      for (const auto& [p, cost] : q_->in(b)) {
         if (s.refold[p] == s.epoch) {
           push(p);  // already refolding: the fold will read the overlay
           continue;
         }
-        // b's in-CSR mirrors the same cost as p's out-entry for b, so the
-        // term is available without touching p's adjacency.
-        const double costBeta = inCostBeta_[i];
+        // b's in-entry carries the same cost as p's out-entry for b, so
+        // the term is available without touching p's adjacency.
+        const double costBeta = cost / beta;
         const double oldTerm = costBeta + bottom_[b];
         const double newTerm = costBeta + newValue;
         const double current = bestOf(p);
@@ -338,7 +308,7 @@ bool IncrementalEvaluator::mergeWouldCreateCycle(BlockId a, BlockId b) const {
     visitEpoch_ = 1;
   }
   dfsStack_.clear();
-  for (const auto& [child, cost] : q_->node(src).out) {
+  for (const auto& [child, cost] : q_->out(src)) {
     if (child == dst) continue;  // the direct edge becomes internal
     if (pos_[child] < limit) dfsStack_.push_back(child);
   }
@@ -347,7 +317,7 @@ bool IncrementalEvaluator::mergeWouldCreateCycle(BlockId a, BlockId b) const {
     dfsStack_.pop_back();
     if (visitStamp_[n] == visitEpoch_) continue;
     visitStamp_[n] = visitEpoch_;
-    for (const auto& [child, cost] : q_->node(n).out) {
+    for (const auto& [child, cost] : q_->out(n)) {
       if (child == dst) return true;
       if (pos_[child] < limit && visitStamp_[child] != visitEpoch_) {
         dfsStack_.push_back(child);
@@ -435,7 +405,7 @@ const std::vector<BlockId>& IncrementalEvaluator::criticalPath() const {
     const QNode& node = q_->node(cur);
     BlockId next = kNoBlock;
     double bestTail = -1.0;
-    for (const auto& [child, cost] : node.out) {
+    for (const auto& [child, cost] : q_->out(cur)) {
       const double tail = cost / beta + bottom_[child];
       if (tail > bestTail) {
         bestTail = tail;

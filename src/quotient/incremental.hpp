@@ -25,6 +25,11 @@
 // concurrent probes over a const quotient — which is exactly what the
 // OpenMP-parallel Step-4 candidate scan does (one Scratch per thread).
 //
+// The quotient's arena-backed CSR adjacency (out(b)/in(b) spans) is flat
+// and committed-order-stable, so both the structural and the value-only
+// repair paths fold it directly — the private CSR mirror this evaluator
+// once carried is gone.
+//
 // Under a communication cost model (comm::CommCostModel) the Eq. (1)
 // bottom-weight recurrence no longer holds (contention couples transfers
 // globally), so the evaluator caches the committed forward evaluation
@@ -146,10 +151,11 @@ class IncrementalEvaluator {
   [[nodiscard]] double speedOf(BlockId b,
                                std::span<const ProcOverride> overrides) const;
   /// The shared cone-repair pass over the null-model cache. `structural`
-  /// probes walk the quotient's live adjacency (it differs from the
-  /// committed one after a tentative merge); value-only repairs walk the
-  /// committed CSR mirror instead (flat arrays, same fold order — the hot
-  /// Step-4 path).
+  /// probes walk the quotient's live adjacency until a fixpoint (it
+  /// differs from the committed one after a tentative merge); value-only
+  /// repairs (the hot Step-4 path) rely on the topology matching the
+  /// committed state, so the same spans patch best terms in O(1) per
+  /// changed child.
   double repair(Scratch& scratch, std::span<const BlockId> dirtySeeds,
                 std::span<const BlockId> deadBlocks,
                 std::span<const ProcOverride> overrides,
@@ -176,13 +182,6 @@ class IncrementalEvaluator {
   std::vector<BlockId> order_;
   mutable std::set<std::pair<double, BlockId>> values_;  // alive blocks
   mutable double makespan_ = 0.0;
-  // CSR mirror of the committed adjacency (entries in map order, costs
-  // pre-divided by beta): value-only repairs iterate flat arrays instead of
-  // chasing std::map nodes — the quotient's maps stay authoritative for
-  // structural probes and stay untouched here.
-  std::vector<std::uint32_t> outStart_, inStart_;
-  std::vector<BlockId> outChild_, inParent_;
-  std::vector<double> outCostBeta_, inCostBeta_;
 
   // Committed caches (model path): the fluid problem of the committed state
   // plus its forward evaluation (start/finish/binding edges).

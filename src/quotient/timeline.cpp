@@ -20,7 +20,7 @@ Timeline computeTimeline(const QuotientGraph& q,
   for (const BlockId b : *order) {
     const QNode& node = q.node(b);
     double ready = 0.0;
-    for (const auto& [parent, cost] : node.in) {
+    for (const auto& [parent, cost] : q.in(b)) {
       ready = std::max(ready, finish[parent] + cost / beta);
     }
     const double speed = node.proc == platform::kNoProcessor

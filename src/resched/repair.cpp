@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <set>
 #include <utility>
 
@@ -161,6 +162,11 @@ RepairResult repairResidual(ResidualState& state,
   constexpr double kMemSlack = 1.0 + 1e-12;
 
   enum class Kind { kNone, kMove, kSwap, kMerge };
+  // Memo of oracle.blockRequirement over merge candidates, keyed on
+  // (host, victim). Moves and swaps never change block memberships, so
+  // entries survive those commits and the round loop re-probes the same
+  // pairs for free; a committed merge invalidates everything.
+  std::map<std::pair<std::size_t, std::size_t>, double> memReqMemo;
   for (int round = 0; round < cfg.maxRounds; ++round) {
     Kind bestKind = Kind::kNone;
     std::size_t bestA = 0;
@@ -216,10 +222,18 @@ RepairResult repairResidual(ResidualState& state,
           ResidualBlock& bj = state.blocks[j];
           if (!bj.alive || bj.pinned || mergeBudget <= 0) continue;
           --mergeBudget;
-          std::vector<VertexId> unionMembers = bj.members;
-          unionMembers.insert(unionMembers.end(), bi.members.begin(),
-                              bi.members.end());
-          const double mem = oracle.blockRequirement(unionMembers);
+          const auto memoKey = std::make_pair(j, i);
+          const auto memoIt = memReqMemo.find(memoKey);
+          double mem;
+          if (memoIt != memReqMemo.end()) {
+            mem = memoIt->second;
+          } else {
+            std::vector<VertexId> unionMembers = bj.members;
+            unionMembers.insert(unionMembers.end(), bi.members.begin(),
+                                bi.members.end());
+            mem = oracle.blockRequirement(unionMembers);
+            memReqMemo.emplace(memoKey, mem);
+          }
           if (mem > capacityOf(state, cluster, bj.proc) * kMemSlack) continue;
           // Apply tentatively and roll back (deep-copying the state per
           // candidate would be O(tasks)); a merge creating a cycle projects
@@ -254,6 +268,7 @@ RepairResult repairResidual(ResidualState& state,
         break;
       case Kind::kMerge:
         applyMerge(state, bestA, bestB, bestMem);
+        memReqMemo.clear();  // memberships changed: memoized probes stale
         ++result.merges;
         break;
       case Kind::kNone:

@@ -6,6 +6,7 @@
 #include <limits>
 #include <map>
 #include <set>
+#include <tuple>
 
 #include "quotient/incremental.hpp"
 
@@ -30,6 +31,13 @@ struct ProbeBuffers {
   std::vector<BlockId> seeds, dead, seeds2, dead2;
 };
 
+/// Per-round memo of oracle.blockRequirement over tentative merges, keyed
+/// on (host, absorbed, third). Block membership only changes on commit, so
+/// entries stay valid across the probe passes of one round; the caller
+/// clears the memo after every committed merge. The oracle is
+/// deterministic, so memoized probes are bit-identical to recomputed ones.
+using MemReqMemo = std::map<std::tuple<BlockId, BlockId, BlockId>, double>;
+
 /// FindMSOptMerge (Algorithm 3): finds the best feasible merge of `nu` into
 /// an assigned neighbor from `allowed`. All merges are tentative; the
 /// quotient is restored before returning. With a non-null `eval`, cycle
@@ -41,7 +49,7 @@ CandidateOutcome findMsOptMerge(quotient::QuotientGraph& q,
                                 const memory::MemDagOracle& oracle,
                                 const comm::CommCostModel* comm,
                                 quotient::IncrementalEvaluator* eval,
-                                ProbeBuffers* buffers,
+                                ProbeBuffers* buffers, MemReqMemo& memReqMemo,
                                 BlockId nu, const std::set<BlockId>& allowed,
                                 bool neighborsOnly, int maxProbes = -1,
                                 bool firstFeasibleWins = false) {
@@ -52,11 +60,12 @@ CandidateOutcome findMsOptMerge(quotient::QuotientGraph& q,
   // stays acyclic and the combined traversal fits the host's memory.
   std::vector<BlockId> candidates;
   if (neighborsOnly) {
-    for (const auto& [p, cost] : q.node(nu).in) {
+    const quotient::AdjSpan nuIn = q.in(nu);
+    for (const auto& [p, cost] : nuIn) {
       if (allowed.count(p) > 0) candidates.push_back(p);
     }
-    for (const auto& [c, cost] : q.node(nu).out) {
-      if (allowed.count(c) > 0 && q.node(nu).in.count(c) == 0) {
+    for (const auto& [c, cost] : q.out(nu)) {
+      if (allowed.count(c) > 0 && nuIn.count(c) == 0) {
         candidates.push_back(c);
       }
     }
@@ -110,7 +119,18 @@ CandidateOutcome findMsOptMerge(quotient::QuotientGraph& q,
     }
     bool done = false;
     if (viable) {
-      const double memReq = oracle.blockRequirement(q.node(host).members);
+      // The same (host, nu, third) pair is probed repeatedly across the
+      // off-path / anywhere / rescue passes of a round; memoize the oracle
+      // evaluation (valid until the next commit changes memberships).
+      const auto memoKey = std::make_tuple(host, nu, third);
+      const auto memoIt = memReqMemo.find(memoKey);
+      const double memReq =
+          memoIt != memReqMemo.end()
+              ? memoIt->second
+              : memReqMemo
+                    .emplace(memoKey,
+                             oracle.blockRequirement(q.node(host).members))
+                    .first->second;
       if (memReq <= cluster.memory(q.node(host).proc)) {
         std::optional<double> makespan;
         if (eval != nullptr) {
@@ -198,6 +218,7 @@ MergeStepResult mergeUnassignedToAssigned(quotient::QuotientGraph& q,
   // failed attempt (see below).
   std::map<BlockId, std::uint32_t> mergesAtLastFailure;
   int rescueProbesLeft = cfg.rescueProbeBudget;
+  MemReqMemo memReqMemo;  // oracle probes, cleared on every commit
 
   while (!unassigned.empty()) {
     const BlockId nu = unassigned.front();
@@ -220,12 +241,12 @@ MergeStepResult mergeUnassignedToAssigned(quotient::QuotientGraph& q,
     }
 
     CandidateOutcome outcome =
-        findMsOptMerge(q, cluster, oracle, cfg.comm, evalPtr, buffersPtr, nu,
-                       offPath, /*neighborsOnly=*/true);
+        findMsOptMerge(q, cluster, oracle, cfg.comm, evalPtr, buffersPtr,
+                       memReqMemo, nu, offPath, /*neighborsOnly=*/true);
     if (outcome.target == kNoBlock && cfg.preferOffCriticalPath) {
       // No feasible merge off the critical path; allow merges anywhere.
       outcome = findMsOptMerge(q, cluster, oracle, cfg.comm, evalPtr,
-                               buffersPtr, nu, assigned,
+                               buffersPtr, memReqMemo, nu, assigned,
                                /*neighborsOnly=*/true);
     }
     if (outcome.target == kNoBlock && cfg.anyHostFallback &&
@@ -240,7 +261,7 @@ MergeStepResult mergeUnassignedToAssigned(quotient::QuotientGraph& q,
       // attempts cannot dominate the runtime of large instances.
       const int probes = std::min(rescueProbesLeft, cfg.maxRescueProbes);
       outcome = findMsOptMerge(q, cluster, oracle, cfg.comm, evalPtr,
-                               buffersPtr, nu, assigned,
+                               buffersPtr, memReqMemo, nu, assigned,
                                /*neighborsOnly=*/false, probes,
                                /*firstFeasibleWins=*/true);
       rescueProbesLeft -= probes;
@@ -257,6 +278,7 @@ MergeStepResult mergeUnassignedToAssigned(quotient::QuotientGraph& q,
       q.setMemReq(outcome.target, outcome.mergedMemReq);
       if (outcome.third != kNoBlock) assigned.erase(outcome.third);
       if (evalPtr != nullptr) evalPtr->rebuild();  // structural commit
+      memReqMemo.clear();  // memberships changed: memoized probes are stale
       ++result.mergesCommitted;
       continue;
     }
@@ -264,10 +286,10 @@ MergeStepResult mergeUnassignedToAssigned(quotient::QuotientGraph& q,
     // No feasible merge at all: defer if an unassigned neighbor might later
     // become a viable host (paper rule, bounded by the reinsert counter).
     const bool hasUnassignedNeighbor = [&] {
-      for (const auto& [p, cost] : q.node(nu).in) {
+      for (const auto& [p, cost] : q.in(nu)) {
         if (q.node(p).proc == platform::kNoProcessor) return true;
       }
-      for (const auto& [c, cost] : q.node(nu).out) {
+      for (const auto& [c, cost] : q.out(nu)) {
         if (q.node(c).proc == platform::kNoProcessor) return true;
       }
       return false;

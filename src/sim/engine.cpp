@@ -100,8 +100,8 @@ SimPlan prepareSimulation(const graph::Dag& g,
     } else {
       bp.order = oracle.bestTraversal(members[b]).order;
     }
-    bp.initialPendingInputs = quotient.node(b).in.size();
-    bp.out.assign(quotient.node(b).out.begin(), quotient.node(b).out.end());
+    bp.initialPendingInputs = quotient.in(b).size();
+    bp.out.assign(quotient.out(b).begin(), quotient.out(b).end());
     // A block already fully executed at resume time never starts a task, so
     // its memory profile would never be consulted; skip the subgraph and
     // memory simulation (late-run splices have mostly completed blocks).

@@ -153,8 +153,8 @@ TEST(CommCostModel, UncontendedCriticalPathIsAChainWithTheMakespan) {
     EXPECT_EQ(legacy.makespan, modeled.makespan);
     ASSERT_FALSE(modeled.criticalPath.empty());
     for (std::size_t i = 0; i + 1 < modeled.criticalPath.size(); ++i) {
-      const quotient::QNode& node = q.node(modeled.criticalPath[i]);
-      EXPECT_EQ(node.out.count(modeled.criticalPath[i + 1]), 1u);
+      EXPECT_EQ(q.out(modeled.criticalPath[i]).count(modeled.criticalPath[i + 1]),
+                1u);
     }
   }
 }

@@ -317,7 +317,7 @@ TEST(Timeline, EntriesRespectPrecedence) {
   std::map<quotient::BlockId, const quotient::TimelineEntry*> byBlock;
   for (const auto& entry : timeline.entries) byBlock[entry.block] = &entry;
   for (const auto& entry : timeline.entries) {
-    for (const auto& [parent, cost] : q.node(entry.block).in) {
+    for (const auto& [parent, cost] : q.in(entry.block)) {
       EXPECT_GE(entry.start + 1e-12, byBlock.at(parent)->finish);
     }
     EXPECT_GE(entry.finish, entry.start);

@@ -63,8 +63,8 @@ void expectQuotientsEqual(const quotient::QuotientGraph& a,
     if (!na.alive) continue;
     EXPECT_DOUBLE_EQ(na.work, nb.work) << "node " << i;
     EXPECT_EQ(na.members, nb.members) << "node " << i;
-    EXPECT_EQ(na.out, nb.out) << "node " << i;
-    EXPECT_EQ(na.in, nb.in) << "node " << i;
+    EXPECT_EQ(a.out(i), b.out(i)) << "node " << i;
+    EXPECT_EQ(a.in(i), b.in(i)) << "node " << i;
   }
 }
 

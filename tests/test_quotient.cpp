@@ -52,11 +52,11 @@ TEST(Quotient, Figure1NodeAndEdgeWeights) {
   EXPECT_DOUBLE_EQ(q.node(2).work, 3.0);
   EXPECT_DOUBLE_EQ(q.node(3).work, 1.0);
   // Paper: all quotient edge costs 1 except c(V1,V3) = 2.
-  EXPECT_DOUBLE_EQ(q.node(0).out.at(2), 2.0);
-  EXPECT_DOUBLE_EQ(q.node(0).out.at(1), 1.0);
-  EXPECT_DOUBLE_EQ(q.node(0).out.at(3), 1.0);
-  EXPECT_DOUBLE_EQ(q.node(1).out.at(2), 1.0);
-  EXPECT_DOUBLE_EQ(q.node(2).out.at(3), 1.0);
+  EXPECT_DOUBLE_EQ(q.out(0).at(2), 2.0);
+  EXPECT_DOUBLE_EQ(q.out(0).at(1), 1.0);
+  EXPECT_DOUBLE_EQ(q.out(0).at(3), 1.0);
+  EXPECT_DOUBLE_EQ(q.out(1).at(2), 1.0);
+  EXPECT_DOUBLE_EQ(q.out(2).at(3), 1.0);
 }
 
 TEST(Quotient, Figure1BottomWeightsAndMakespan) {
@@ -147,10 +147,10 @@ TEST(Quotient, MergeCombinesWorkMembersAndEdges) {
   EXPECT_DOUBLE_EQ(q.node(0).work, 5.0);
   EXPECT_EQ(q.node(0).members.size(), 5u);
   // V1's edge to V3 now also carries V2's edge: 2 + 1.
-  EXPECT_DOUBLE_EQ(q.node(0).out.at(2), 3.0);
+  EXPECT_DOUBLE_EQ(q.out(0).at(2), 3.0);
   // V3's in-edge from V2 is gone, replaced by the merged node's.
-  EXPECT_EQ(q.node(2).in.count(1), 0u);
-  EXPECT_DOUBLE_EQ(q.node(2).in.at(0), 3.0);
+  EXPECT_EQ(q.in(2).count(1), 0u);
+  EXPECT_DOUBLE_EQ(q.in(2).at(0), 3.0);
   EXPECT_TRUE(q.isAcyclic());
 }
 
@@ -159,16 +159,17 @@ TEST(Quotient, RollbackRestoresEverything) {
   QuotientGraph q(g, figure1Blocks(), 4);
   const platform::Cluster cluster = unitCluster(4);
   const double before = *makespanValue(q, cluster);
-  const auto snapshotOut = q.node(0).out;
+  // Spans borrow the arena, so snapshot by value before mutating.
+  const std::vector<AdjEntry> snapshotOut(q.out(0).begin(), q.out(0).end());
   MergeTransaction tx = q.merge(0, 1);
   EXPECT_NE(*makespanValue(q, cluster), before);
   q.rollback(std::move(tx));
   EXPECT_EQ(q.numAlive(), 4u);
   EXPECT_TRUE(q.node(1).alive);
   EXPECT_DOUBLE_EQ(q.node(0).work, 4.0);
-  EXPECT_EQ(q.node(0).out, snapshotOut);
-  EXPECT_DOUBLE_EQ(q.node(2).in.at(0), 2.0);
-  EXPECT_DOUBLE_EQ(q.node(2).in.at(1), 1.0);
+  EXPECT_EQ(q.out(0), AdjSpan(snapshotOut.data(), snapshotOut.size()));
+  EXPECT_DOUBLE_EQ(q.in(2).at(0), 2.0);
+  EXPECT_DOUBLE_EQ(q.in(2).at(1), 1.0);
   EXPECT_DOUBLE_EQ(*makespanValue(q, cluster), before);
 }
 
@@ -213,7 +214,7 @@ TEST(Quotient, TwoCycleDetectionAndTripleMergeRepair) {
   EXPECT_EQ(q.numAlive(), 2u);
   // All three tasks ended up in the merged node; d remains downstream.
   EXPECT_EQ(q.node(0).members.size(), 3u);
-  EXPECT_DOUBLE_EQ(q.node(0).out.at(3), 1.0);
+  EXPECT_DOUBLE_EQ(q.out(0).at(3), 1.0);
 }
 
 TEST(Quotient, TripleMergeCannotRepairWhenPathRunsOutside) {

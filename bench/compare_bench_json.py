@@ -135,6 +135,17 @@ def main():
                         numeric_fields(cur["overall"]), args.rtol, args.atol,
                         failures)
 
+    # The observability summary (counters + span totals) regresses like any
+    # other block, but only when both documents carry it: baselines recorded
+    # before the stats export existed stay certifiable untouched. Timing
+    # fields (*_seconds etc.) are machine-varying and already ignored by
+    # numeric_fields.
+    if isinstance(base.get("stats"), dict) and isinstance(cur.get("stats"),
+                                                          dict):
+        compare_numbers("stats", numeric_fields(base["stats"]),
+                        numeric_fields(cur["stats"]), args.rtol, args.atol,
+                        failures)
+
     if failures:
         print(f"REGRESSION vs {args.baseline}:")
         for failure in failures:

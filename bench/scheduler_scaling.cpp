@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #endif
 
 #include "experiments/export.hpp"
+#include "obs/obs.hpp"
 #include "partition/partitioner.hpp"
 #include "platform/cluster.hpp"
 #include "quotient/incremental.hpp"
@@ -37,7 +39,6 @@
 #include "support/env.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
-#include "support/timer.hpp"
 #include "workflows/families.hpp"
 
 namespace {
@@ -124,7 +125,7 @@ void measureProbes(const graph::Dag& g, const platform::Cluster& cluster,
   quotient::IncrementalEvaluator::Scratch scratch(eval);
   double sink = 0.0;
   {
-    const support::Timer timer;
+    const obs::Span span("bench.probe_incremental");
     for (std::int64_t p = 0; p < probes; ++p) {
       const quotient::BlockId a =
           nodes[static_cast<std::size_t>(p) % nodes.size()];
@@ -135,10 +136,10 @@ void measureProbes(const graph::Dag& g, const platform::Cluster& cluster,
                                                    {b, q.node(a).proc}};
       sink += eval.probeAssign(scratch, overrides);
     }
-    out.probeIncrementalSeconds = timer.seconds();
+    out.probeIncrementalSeconds = span.seconds();
   }
   if (fullReference) {
-    const support::Timer timer;
+    const obs::Span span("bench.probe_full");
     for (std::int64_t p = 0; p < probes; ++p) {
       const quotient::BlockId a =
           nodes[static_cast<std::size_t>(p) % nodes.size()];
@@ -153,7 +154,7 @@ void measureProbes(const graph::Dag& g, const platform::Cluster& cluster,
       q.setProcessor(a, pa);
       q.setProcessor(b, pb);
     }
-    out.probeFullSeconds = timer.seconds();
+    out.probeFullSeconds = span.seconds();
   }
   out.probes = probes;
   if (sink < 0.0) std::cout << "";  // keep the probes observable
@@ -221,17 +222,19 @@ int main() {
 
     scheduler::ScheduleResult incremental;
     {
-      const support::Timer timer;
+      const obs::Span span("bench.rung_incremental",
+                           "n=" + std::to_string(rung.tasks));
       incremental = scheduler::dagHetPart(g, cluster, cfg);
-      out.incrementalSeconds = timer.seconds();
+      out.incrementalSeconds = span.seconds();
     }
     if (rung.differential) {
       scheduler::ScheduleResult reference;
       {
         cfg.options.fullReevaluation = true;
-        const support::Timer timer;
+        const obs::Span span("bench.rung_full",
+                             "n=" + std::to_string(rung.tasks));
         reference = scheduler::dagHetPart(g, cluster, cfg);
-        out.fullSeconds = timer.seconds();
+        out.fullSeconds = span.seconds();
         cfg.options.fullReevaluation = false;
       }
       if (incremental.feasible != reference.feasible ||
@@ -283,6 +286,36 @@ int main() {
                "with the rung; peak RSS is the process high-water mark so "
                "far\n";
 
+  if (obs::countersEnabled()) {
+    // Headline solver counters for the CI job summary (enable with
+    // DAGPM_STATS). Whole-process totals across all rungs, deterministic
+    // for any OMP_NUM_THREADS.
+    std::map<std::string, std::uint64_t> c;
+    for (const obs::CounterValue& v : obs::counterSnapshot()) c[v.name] = v.value;
+    const auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? std::string("-")
+                        : support::Table::percent(static_cast<double>(hits) /
+                                                  static_cast<double>(total));
+    };
+    support::Table counters({"counter", "value"});
+    counters.addRow({"eval probes (assign)",
+                     std::to_string(c["eval.probes.assign"])});
+    counters.addRow({"eval probes (merged)",
+                     std::to_string(c["eval.probes.merged"])});
+    counters.addRow({"swap pairs probed",
+                     std::to_string(c["swap.pairs_probed"])});
+    counters.addRow({"merge probes", std::to_string(c["merge.probes"])});
+    counters.addRow({"merge memo hit rate",
+                     rate(c["merge.memo.hits"], c["merge.memo.misses"])});
+    counters.addRow({"repair heap pushes",
+                     std::to_string(c["eval.repair_pushes"])});
+    counters.addRow({"peak span depth",
+                     std::to_string(c["span.peak_depth"])});
+    std::cout << "\nheadline counters (DAGPM_STATS totals across all rungs):\n";
+    counters.print(std::cout);
+  }
+
   // JSON export: quality columns gate; *_seconds / *_runtime_ratio /
   // *_rss_mb are ignored by bench/compare_bench_json.py.
   support::JsonArray rows;
@@ -329,6 +362,7 @@ int main() {
   meta.emplace("seeds", support::JsonValue(std::to_string(env.seeds)));
   doc.emplace("meta", support::JsonValue(std::move(meta)));
   doc.emplace("rows", support::JsonValue(std::move(rows)));
+  doc.emplace("stats", experiments::statsJson());
 
   const std::string jsonPath = experiments::jsonExportPath();
   if (!jsonPath.empty()) {

@@ -40,6 +40,11 @@ BASE_DOC = {
         },
     ],
     "overall": {"geomean_makespan": 136.0, "mean_seconds": 0.75},
+    "stats": {
+        "merge.probes": 420.0,
+        "span.daghetpart.total_calls": 8.0,
+        "span.daghetpart.total_seconds": 1.25,
+    },
 }
 
 
@@ -107,6 +112,29 @@ class CompareBenchJsonTest(unittest.TestCase):
         current = copy.deepcopy(BASE_DOC)
         current["rows"][0]["peak_rss_mb"] = 99999.0
         result = run_checker(BASE_DOC, current)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_stats_counter_drift_is_a_regression(self):
+        current = copy.deepcopy(BASE_DOC)
+        current["stats"]["merge.probes"] = 421.0
+        result = run_checker(BASE_DOC, current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("stats.merge.probes", result.stdout)
+
+    def test_stats_timing_fields_are_ignored(self):
+        current = copy.deepcopy(BASE_DOC)
+        current["stats"]["span.daghetpart.total_seconds"] = 9999.0
+        result = run_checker(BASE_DOC, current)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_stats_only_compared_when_in_both_documents(self):
+        # Baselines recorded before the stats export existed must keep
+        # certifying newer runs (and vice versa) without edits.
+        old_baseline = copy.deepcopy(BASE_DOC)
+        del old_baseline["stats"]
+        result = run_checker(old_baseline, BASE_DOC)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        result = run_checker(BASE_DOC, old_baseline)
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
 
     def test_overall_drift_is_a_regression(self):

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/obs.hpp"
 #include "support/csv.hpp"
 #include "support/env.hpp"
 #include "workflows/families.hpp"
@@ -127,6 +128,21 @@ support::JsonValue rowJson(const std::string& config, const std::string& band,
 
 }  // namespace
 
+support::JsonValue statsJson() {
+  support::JsonObject stats;
+  if (obs::countersEnabled()) {
+    for (const obs::CounterValue& c : obs::counterSnapshot()) {
+      stats[c.name] = support::JsonValue(static_cast<double>(c.value));
+    }
+  }
+  for (const obs::SpanAggregate& s : obs::spanAggregates()) {
+    stats["span." + s.name + "_calls"] =
+        support::JsonValue(static_cast<double>(s.calls));
+    stats["span." + s.name + "_seconds"] = support::JsonValue(s.seconds);
+  }
+  return support::JsonValue(std::move(stats));
+}
+
 support::JsonValue outcomesToJson(
     const std::string& bench, const OutcomeGroups& groups,
     const std::map<std::string, std::string>& meta) {
@@ -160,6 +176,7 @@ support::JsonValue outcomesToJson(
   doc["bench"] = support::JsonValue(bench);
   doc["meta"] = support::JsonValue(std::move(metaObj));
   doc["rows"] = support::JsonValue(std::move(rows));
+  doc["stats"] = statsJson();
   doc["overall"] = aggregateToJson(
       aggregateBy(all, [](const RunOutcome&) {
         return std::string("all");

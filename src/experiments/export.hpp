@@ -63,6 +63,12 @@ std::string maybeExportCsv(const std::string& name,
 /// One Aggregate as a JSON object (all fields, snake_case keys).
 support::JsonValue aggregateToJson(const Aggregate& agg);
 
+/// The per-run observability summary exported under the "stats" key of every
+/// bench JSON document: deterministic obs counters (when enabled) plus
+/// per-span wall-time totals (`span.<name>_calls` / `span.<name>_seconds`;
+/// the `_seconds` fields are machine-varying and ignored by the checker).
+support::JsonValue statsJson();
+
 /// The full JSON document for one bench run: {"bench", "meta", "rows",
 /// "overall"} where rows holds one aggregate per (config, band, family)
 /// group and per (config, band), and overall aggregates every outcome.

@@ -8,6 +8,7 @@
 #include <omp.h>
 #endif
 
+#include "obs/obs.hpp"
 #include "scheduler/solution.hpp"
 #include "support/env.hpp"
 #include "support/stats.hpp"
@@ -113,8 +114,14 @@ std::vector<RunOutcome> runComparison(const std::vector<Instance>& instances,
                                       const RunnerOptions& options) {
   std::vector<RunOutcome> outcomes(instances.size());
 
+  const obs::Span batchSpan("harness.run_comparison",
+                            "instances=" + std::to_string(instances.size()));
+  // Instance spans run on OpenMP worker threads; the explicit parent depth
+  // keeps the trace nesting identical for every OMP_NUM_THREADS.
+  const int instanceParent = batchSpan.depth();
   auto runOne = [&](std::size_t i) {
     const Instance& inst = instances[i];
+    const obs::Span instSpan("harness.instance", inst.name, instanceParent);
     RunOutcome& out = outcomes[i];
     out.instance = inst.name;
     out.band = inst.band;
@@ -261,8 +268,12 @@ void forEachScheduledInstance(
                              const scheduler::ScheduleResult&,
                              const memory::MemDagOracle&,
                              const memory::MemDagOracle&)>& consume) {
+  const obs::Span batchSpan("harness.for_each_scheduled",
+                            "instances=" + std::to_string(instances.size()));
+  const int instanceParent = batchSpan.depth();
   auto runOne = [&](std::size_t i) {
     const Instance& inst = instances[i];
+    const obs::Span instSpan("harness.instance", inst.name, instanceParent);
     platform::Cluster scaled = cluster;
     scaled.scaleMemoriesToFit(inst.dag.maxTaskMemoryRequirement());
     scheduler::DagHetPartConfig pcfg = part;

@@ -1,0 +1,91 @@
+#include "obs/schedule_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace dagpm::obs {
+
+namespace {
+
+std::string compact(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+int recordScheduleTimeline(const sim::SimResult& result,
+                           const graph::Dag& dag,
+                           const platform::Cluster& cluster,
+                           const std::string& label) {
+  if (!result.ok) return -1;
+  const int pid = reserveTimelinePid();
+
+  // One thread track per processor that actually ran a task. Tid == the
+  // processor id, so track order matches the cluster's speed-sorted order.
+  std::vector<char> used(cluster.numProcessors(), 0);
+  for (const sim::TaskEvent& ev : result.events) {
+    if (ev.proc != platform::kNoProcessor) used[ev.proc] = 1;
+  }
+  for (platform::ProcessorId p = 0; p < cluster.numProcessors(); ++p) {
+    if (used[p] == 0) continue;
+    declareTrack(pid, static_cast<int>(p), label,
+                 "proc " + std::to_string(p) + " (speed " +
+                     compact(cluster.speed(p)) + ", mem " +
+                     compact(cluster.memory(p)) + ")");
+  }
+
+  // Task slices: simulated time units rendered as microseconds.
+  for (graph::VertexId v = 0; v < result.events.size(); ++v) {
+    const sim::TaskEvent& ev = result.events[v];
+    if (ev.proc == platform::kNoProcessor || ev.finish < ev.start) continue;
+    if (ev.finish == 0.0 && ev.start == 0.0 && ev.block == quotient::kNoBlock) {
+      continue;  // never executed (paused run)
+    }
+    addTimelineEvent(pid, static_cast<int>(ev.proc),
+                     "t" + std::to_string(v) + " b" +
+                         std::to_string(ev.block) + " (w=" +
+                         compact(dag.work(v)) + ")",
+                     ev.start, ev.finish - ev.start);
+  }
+
+  // Transfer slices on "link lane" tracks: greedy first-free-lane packing
+  // over the records sorted by (start, end, src, dst), so overlapping
+  // transfers never share a lane and the assignment is deterministic.
+  std::vector<sim::TransferRecord> records = result.transferLog;
+  std::sort(records.begin(), records.end(),
+            [](const sim::TransferRecord& a, const sim::TransferRecord& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.end != b.end) return a.end < b.end;
+              if (a.srcBlock != b.srcBlock) return a.srcBlock < b.srcBlock;
+              if (a.dstBlock != b.dstBlock) return a.dstBlock < b.dstBlock;
+              return a.dstTask < b.dstTask;
+            });
+  std::vector<double> laneEnd;  // per lane: end of the last slice placed
+  const int laneBase = static_cast<int>(cluster.numProcessors());
+  for (const sim::TransferRecord& r : records) {
+    std::size_t lane = 0;
+    while (lane < laneEnd.size() && laneEnd[lane] > r.start) ++lane;
+    if (lane == laneEnd.size()) {
+      laneEnd.push_back(0.0);
+      declareTrack(pid, laneBase + static_cast<int>(lane), label,
+                   "link lane " + std::to_string(lane));
+    }
+    laneEnd[lane] = r.end;
+    std::string name =
+        "b" + std::to_string(r.srcBlock) + "->b" + std::to_string(r.dstBlock);
+    if (r.dstTask != graph::kInvalidVertex) {
+      name += " t" + std::to_string(r.dstTask);
+    }
+    name += " (" + compact(r.bytes) + "B)";
+    addTimelineEvent(pid, laneBase + static_cast<int>(lane), std::move(name),
+                     r.start, r.end - r.start);
+  }
+  return pid;
+}
+
+}  // namespace dagpm::obs

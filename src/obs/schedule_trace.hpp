@@ -1,0 +1,29 @@
+#pragma once
+// Renders a simulated schedule (sim::SimResult) as Chrome-trace timeline
+// tracks: one process per recorded schedule, one thread track per processor
+// with a slice per executed task, plus "link lane" tracks carrying transfer
+// slices (greedy first-free-lane packing so overlapping transfers never
+// share a lane). Timestamps are simulated time units rendered as
+// microseconds. Combine with DAGPM_TRACE to get the solver's own spans and
+// the schedule it produced in one Perfetto view.
+
+#include <string>
+
+#include "graph/dag.hpp"
+#include "platform/cluster.hpp"
+#include "sim/engine.hpp"
+
+namespace dagpm::obs {
+
+/// Appends the schedule timeline to the process-wide trace buffer. Run the
+/// simulation with SimOptions::recordTransfers to get transfer lanes;
+/// without it only the per-processor task tracks are emitted. Returns the
+/// pid the schedule's tracks were registered under (one fresh pid per call,
+/// so several schedules coexist in one trace). No-op returning -1 when the
+/// result is not ok.
+int recordScheduleTimeline(const sim::SimResult& result,
+                           const graph::Dag& dag,
+                           const platform::Cluster& cluster,
+                           const std::string& label);
+
+}  // namespace dagpm::obs

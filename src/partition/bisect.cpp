@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "graph/topology.hpp"
+#include "obs/obs.hpp"
 #include "partition/coarsen.hpp"
 
 namespace dagpm::partition::detail {
@@ -292,6 +293,7 @@ std::vector<std::uint8_t> multilevelBisect(
   while (!levels.empty() && levels.back().dag.numVertices() < 2) {
     levels.pop_back();
   }
+  obs::add(obs::Counter::kCoarsenLevels, levels.size());
 
   const graph::Dag* coarsest = levels.empty() ? &dag : &levels.back().dag;
   const std::vector<double>* coarsestWeight =

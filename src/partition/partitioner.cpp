@@ -6,6 +6,7 @@
 
 #include "graph/subgraph.hpp"
 #include "graph/topology.hpp"
+#include "obs/obs.hpp"
 #include "partition/bisect.hpp"
 #include "support/rng.hpp"
 
@@ -147,6 +148,8 @@ PartitionResult partitionAcyclic(const graph::Dag& g,
     return result;
   }
   const std::vector<double> weights = balanceWeights(g, cfg.balance);
+  const obs::Span span("partition.acyclic",
+                       "k=" + std::to_string(cfg.numParts));
   RecursiveBisector bisector(g, weights, cfg);
   result.numBlocks = bisector.run();
   result.blockOf = bisector.takeLabels();

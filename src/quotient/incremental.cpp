@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/obs.hpp"
+
 namespace dagpm::quotient {
 
 IncrementalEvaluator::IncrementalEvaluator(const QuotientGraph& q,
@@ -25,6 +27,7 @@ IncrementalEvaluator::Scratch::Scratch(const IncrementalEvaluator& eval) {
 }
 
 void IncrementalEvaluator::rebuild() {
+  obs::add(obs::Counter::kEvalRebuilds);
   criticalPathValid_ = false;
   criticalPath_.clear();
   ++version_;
@@ -125,11 +128,15 @@ double IncrementalEvaluator::repair(Scratch& s,
   // Max-heap on the committed topological position: children (larger pos)
   // repair before parents. A position gone stale through a tentative merge
   // only costs a re-push (the parent re-dirties when its child changes).
+  // Heap pushes are tallied locally and reported once at the end — the hot
+  // loop must not pay per-push counter traffic.
+  std::uint64_t pushes = 0;
   auto push = [&](BlockId b) {
     if (s.queued[b] == s.epoch || s.dead[b] == s.epoch) return;
     s.queued[b] = s.epoch;
     s.heap.emplace_back(pos_[b], b);
     std::push_heap(s.heap.begin(), s.heap.end());
+    ++pushes;
   };
 
   for (const BlockId d : deadBlocks) s.dead[d] = s.epoch;
@@ -224,6 +231,7 @@ double IncrementalEvaluator::repair(Scratch& s,
     }
   }
 
+  obs::add(obs::Counter::kEvalRepairPushes, pushes);
   // New makespan: the best tentative value vs the best committed value of a
   // block the probe left untouched (walk down from the committed maximum).
   double result = 0.0;
@@ -239,6 +247,7 @@ double IncrementalEvaluator::repair(Scratch& s,
 
 double IncrementalEvaluator::probeAssign(
     Scratch& s, std::span<const ProcOverride> overrides) const {
+  obs::add(obs::Counter::kEvalProbesAssign);
   if (comm_ != nullptr) return contendedProbe(s, overrides);
   // Seeds are the overridden blocks themselves; only their own term of the
   // Eq. (1) recurrence changed. The searches pass at most two overrides;
@@ -260,6 +269,7 @@ double IncrementalEvaluator::probeAssign(
 double IncrementalEvaluator::probeMerged(
     Scratch& s, std::span<const BlockId> dirtySeeds,
     std::span<const BlockId> deadBlocks) const {
+  obs::add(obs::Counter::kEvalProbesMerged);
   if (comm_ != nullptr) {
     // Structural probe under a model: the node set changed, so the cached
     // fluid does not apply; price the merged quotient like the full path.
@@ -289,6 +299,7 @@ void IncrementalEvaluator::seedsOfMerge(const MergeTransaction& tx,
 }
 
 bool IncrementalEvaluator::mergeWouldCreateCycle(BlockId a, BlockId b) const {
+  obs::add(obs::Counter::kEvalCycleChecks);
   // The committed quotient is acyclic, so a path between the two blocks can
   // only run in one direction: from the earlier position to the later one.
   // Merging closes a cycle exactly when such a path passes through at least
@@ -328,6 +339,7 @@ bool IncrementalEvaluator::mergeWouldCreateCycle(BlockId a, BlockId b) const {
 }
 
 void IncrementalEvaluator::commitAssign(std::span<const BlockId> dirtySeeds) {
+  obs::add(obs::Counter::kEvalCommits);
   criticalPathValid_ = false;
   criticalPath_.clear();
   ++version_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace dagpm::quotient {
 
 using graph::EdgeId;
@@ -213,6 +215,7 @@ std::vector<BlockId> QuotientGraph::aliveNodes() const {
 }
 
 MergeTransaction QuotientGraph::merge(BlockId survivor, BlockId absorbed) {
+  obs::add(obs::Counter::kQuotientMerges);
   assert(survivor != absorbed);
   QNode& s = nodes_[survivor];
   QNode& a = nodes_[absorbed];
@@ -268,6 +271,7 @@ MergeTransaction QuotientGraph::merge(BlockId survivor, BlockId absorbed) {
 }
 
 void QuotientGraph::rollback(MergeTransaction&& tx) {
+  obs::add(obs::Counter::kQuotientRollbacks);
   QNode& s = nodes_[tx.survivor];
   QNode& a = nodes_[tx.absorbed];
   assert(!a.alive);

@@ -6,6 +6,8 @@
 #include <set>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace dagpm::resched {
 
 using graph::VertexId;
@@ -224,6 +226,9 @@ RepairResult repairResidual(ResidualState& state,
           --mergeBudget;
           const auto memoKey = std::make_pair(j, i);
           const auto memoIt = memReqMemo.find(memoKey);
+          obs::add(memoIt != memReqMemo.end()
+                       ? obs::Counter::kReschedMemoHits
+                       : obs::Counter::kReschedMemoMisses);
           double mem;
           if (memoIt != memReqMemo.end()) {
             mem = memoIt->second;

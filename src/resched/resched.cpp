@@ -5,6 +5,7 @@
 #include <deque>
 #include <memory>
 
+#include "obs/obs.hpp"
 #include "quotient/quotient.hpp"
 #include "resched/residual.hpp"
 
@@ -203,6 +204,7 @@ RescheduleResult runOnline(const graph::Dag& g,
     if (!run.paused) break;
 
     ++result.triggersFired;
+    obs::add(obs::Counter::kReschedTriggers);
     checkpoint = std::move(run.checkpoint);
     resuming = true;
     observer.mute(checkpoint.now + policy.cooldownFraction * scale);
@@ -258,6 +260,7 @@ RescheduleResult runOnline(const graph::Dag& g,
     record.merges = repair.merges;
     if (!repair.accepted) {
       ++result.reschedulesRejected;
+      obs::add(obs::Counter::kReschedRejected);
       result.repairs.push_back(std::move(record));
       continue;
     }
@@ -300,6 +303,7 @@ RescheduleResult runOnline(const graph::Dag& g,
       }
     }
     ++result.reschedulesAccepted;
+    obs::add(obs::Counter::kReschedAccepted);
     result.repairs.push_back(std::move(record));
   }
 

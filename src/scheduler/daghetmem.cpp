@@ -1,8 +1,8 @@
 #include "scheduler/daghetmem.hpp"
 
 #include "memory/simulate.hpp"
+#include "obs/obs.hpp"
 #include "quotient/quotient.hpp"
-#include "support/timer.hpp"
 
 namespace dagpm::scheduler {
 
@@ -10,7 +10,7 @@ using graph::VertexId;
 
 ScheduleResult dagHetMem(const graph::Dag& g, const platform::Cluster& cluster,
                          const DagHetMemConfig& cfg) {
-  const support::Timer timer;
+  const obs::Span span("daghetmem.total");
   ScheduleResult result;
   result.blockOf.assign(g.numVertices(), 0);
   if (g.numVertices() == 0 || cluster.numProcessors() == 0) return result;
@@ -32,7 +32,7 @@ ScheduleResult dagHetMem(const graph::Dag& g, const platform::Cluster& cluster,
     double makespan = 0.0;
     for (VertexId v = 0; v < g.numVertices(); ++v) makespan += g.work(v);
     result.makespan = makespan / cluster.speed(procs[0]);
-    result.stats.seconds = timer.seconds();
+    result.stats.seconds = span.seconds();
     return result;
   }
 
@@ -49,7 +49,7 @@ ScheduleResult dagHetMem(const graph::Dag& g, const platform::Cluster& cluster,
       if (procIndex >= procs.size()) {
         // Tasks remain but no processors are left: no valid mapping.
         result.feasible = false;
-        result.stats.seconds = timer.seconds();
+        result.stats.seconds = span.seconds();
         return result;
       }
       const double cap = cluster.memory(procs[procIndex]);
@@ -62,7 +62,7 @@ ScheduleResult dagHetMem(const graph::Dag& g, const platform::Cluster& cluster,
         // Even alone the task exceeds this processor; all later processors
         // are no larger (sorted), so the platform cannot run the workflow.
         result.feasible = false;
-        result.stats.seconds = timer.seconds();
+        result.stats.seconds = span.seconds();
         return result;
       }
       // Close the current block on its processor and retry u on the next.
@@ -85,7 +85,7 @@ ScheduleResult dagHetMem(const graph::Dag& g, const platform::Cluster& cluster,
   result.feasible = makespan.has_value();
   result.makespan = makespan.value_or(0.0);
   result.stats.numBlocks = numBlocks;
-  result.stats.seconds = timer.seconds();
+  result.stats.seconds = span.seconds();
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <omp.h>
 #endif
 
+#include "obs/obs.hpp"
 #include "quotient/quotient.hpp"
 #include "scheduler/assignment.hpp"
 #include "scheduler/daghetmem.hpp"
@@ -49,12 +50,16 @@ ScheduleResult dagHetPartSingle(const graph::Dag& g,
   const memory::MemDagOracle oracle(g, cfg.oracle);
 
   // --- Step 1: heterogeneity-oblivious acyclic partition into k' blocks.
-  partition::PartitionConfig pcfg;
-  pcfg.numParts = kPrime;
-  pcfg.epsilon = cfg.step1Epsilon;
-  pcfg.seed = cfg.seed;
-  pcfg.balance = cfg.step1Balance;
-  const partition::PartitionResult initial = partition::partitionAcyclic(g, pcfg);
+  partition::PartitionResult initial;
+  {
+    const obs::Span span("daghetpart.step1_partition");
+    partition::PartitionConfig pcfg;
+    pcfg.numParts = kPrime;
+    pcfg.epsilon = cfg.step1Epsilon;
+    pcfg.seed = cfg.seed;
+    pcfg.balance = cfg.step1Balance;
+    initial = partition::partitionAcyclic(g, pcfg);
+  }
 
   std::vector<std::vector<VertexId>> blocks(initial.numBlocks);
   for (VertexId v = 0; v < g.numVertices(); ++v) {
@@ -62,10 +67,13 @@ ScheduleResult dagHetPartSingle(const graph::Dag& g,
   }
 
   // --- Step 2: memory-aware assignment (splits oversized blocks).
-  AssignmentConfig acfg;
-  acfg.seed = cfg.seed;
-  AssignmentResult assignment =
-      biggestAssign(g, cluster, oracle, std::move(blocks), acfg);
+  AssignmentResult assignment;
+  {
+    const obs::Span span("daghetpart.step2_assign");
+    AssignmentConfig acfg;
+    acfg.seed = cfg.seed;
+    assignment = biggestAssign(g, cluster, oracle, std::move(blocks), acfg);
+  }
   result.stats.splitsPerformed = assignment.splitsPerformed;
 
   // Build the quotient graph over the Step-2 blocks.
@@ -92,8 +100,11 @@ ScheduleResult dagHetPartSingle(const graph::Dag& g,
   mcfg.anyHostFallback = cfg.anyHostFallback;
   mcfg.comm = commModel;
   mcfg.fullReevaluation = fullReeval;
-  const MergeStepResult merge =
-      mergeUnassignedToAssigned(q, cluster, oracle, mcfg);
+  MergeStepResult merge;
+  {
+    const obs::Span span("daghetpart.step3_merge");
+    merge = mergeUnassignedToAssigned(q, cluster, oracle, mcfg);
+  }
   result.stats.mergesCommitted = merge.mergesCommitted;
   if (!merge.success) {
     result.stats.seconds = timer.seconds();
@@ -106,7 +117,11 @@ ScheduleResult dagHetPartSingle(const graph::Dag& g,
   scfg.enableIdleMoves = cfg.enableIdleMoves;
   scfg.comm = commModel;
   scfg.fullReevaluation = fullReeval;
-  const SwapStepResult swaps = improveBySwaps(q, cluster, scfg);
+  SwapStepResult swaps;
+  {
+    const obs::Span span("daghetpart.step4_swaps");
+    swaps = improveBySwaps(q, cluster, scfg);
+  }
   result.stats.swapsCommitted = swaps.swapsCommitted;
   result.stats.idleMovesCommitted = swaps.idleMovesCommitted;
 
@@ -135,20 +150,33 @@ ScheduleResult runSweep(const graph::Dag& g, const platform::Cluster& cluster,
       cfg.sweep, static_cast<std::uint32_t>(cluster.numProcessors()));
   std::vector<ScheduleResult> results(candidates.size());
 
+  const obs::Span sweepSpan("daghetpart.sweep",
+                            "arms=" + std::to_string(candidates.size()));
+  // Arm spans run on whatever OpenMP thread draws the iteration; the
+  // explicit parent depth keeps logical nesting (and span.peak_depth)
+  // identical for every OMP_NUM_THREADS.
+  const int armParent = sweepSpan.depth();
+  const auto runArm = [&](std::size_t i) {
+    const obs::Span arm("daghetpart.arm",
+                        "k'=" + std::to_string(candidates[i]), armParent);
+    obs::add(obs::Counter::kSweepArms);
+    results[i] = dagHetPartSingle(g, cluster, candidates[i], cfg);
+  };
+
 #ifdef _OPENMP
   if (cfg.parallelSweep && candidates.size() > 1) {
 #pragma omp parallel for schedule(dynamic)
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      results[i] = dagHetPartSingle(g, cluster, candidates[i], cfg);
+      runArm(i);
     }
   } else {
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      results[i] = dagHetPartSingle(g, cluster, candidates[i], cfg);
+      runArm(i);
     }
   }
 #else
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    results[i] = dagHetPartSingle(g, cluster, candidates[i], cfg);
+    runArm(i);
   }
 #endif
 
@@ -164,7 +192,7 @@ ScheduleResult runSweep(const graph::Dag& g, const platform::Cluster& cluster,
 
 ScheduleResult dagHetPart(const graph::Dag& g, const platform::Cluster& cluster,
                           const DagHetPartConfig& cfg) {
-  const support::Timer timer;
+  const obs::Span span("daghetpart.total");
   ScheduleResult best = runSweep(g, cluster, cfg);
   if (!best.feasible && cfg.memoryBalanceFallback &&
       cfg.step1Balance == partition::PartitionConfig::BalanceWeight::kWork) {
@@ -175,14 +203,14 @@ ScheduleResult dagHetPart(const graph::Dag& g, const platform::Cluster& cluster,
         partition::PartitionConfig::BalanceWeight::kMemoryFootprint;
     best = runSweep(g, cluster, fallback);
   }
-  best.stats.seconds = timer.seconds();  // total time incl. the whole sweep
+  best.stats.seconds = span.seconds();  // total time incl. the whole sweep
   return best;
 }
 
 ScheduleResult scheduleBest(const graph::Dag& g,
                             const platform::Cluster& cluster,
                             const DagHetPartConfig& cfg) {
-  const support::Timer timer;
+  const obs::Span span("schedule.best");
   ScheduleResult part = dagHetPart(g, cluster, cfg);
   DagHetMemConfig memCfg;
   memCfg.oracle = cfg.oracle;
@@ -191,7 +219,7 @@ ScheduleResult scheduleBest(const graph::Dag& g,
       !part.feasible ? mem
       : (!mem.feasible || part.makespan <= mem.makespan) ? part
                                                          : mem;
-  winner.stats.seconds = timer.seconds();
+  winner.stats.seconds = span.seconds();
   return winner;
 }
 

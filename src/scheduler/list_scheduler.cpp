@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "graph/topology.hpp"
+#include "obs/obs.hpp"
 
 namespace dagpm::scheduler {
 
@@ -19,6 +20,7 @@ ListScheduleResult heftSchedule(const graph::Dag& g,
   const std::size_t n = g.numVertices();
   result.procOfTask.assign(n, platform::kNoProcessor);
   if (n == 0 || cluster.numProcessors() == 0) return result;
+  const obs::Span span("heft.schedule");
 
   // Average execution speed for the rank computation.
   double avgSpeed = 0.0;
@@ -86,6 +88,8 @@ ListScheduleResult heftSchedule(const graph::Dag& g,
     }
     placed[v] = true;
 #endif
+    obs::add(obs::Counter::kHeftTasksPlaced);
+    obs::add(obs::Counter::kHeftEdgesPriced, g.inEdges(v).size());
     double bestFinish = std::numeric_limits<double>::infinity();
     ProcessorId bestProc = 0;
     double bestStart = 0.0;

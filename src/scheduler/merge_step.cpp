@@ -8,6 +8,7 @@
 #include <set>
 #include <tuple>
 
+#include "obs/obs.hpp"
 #include "quotient/incremental.hpp"
 
 namespace dagpm::scheduler {
@@ -90,6 +91,7 @@ CandidateOutcome findMsOptMerge(quotient::QuotientGraph& q,
   }
 
   for (const BlockId host : candidates) {
+    obs::add(obs::Counter::kMergeProbes);
     // With the evaluator, detect the cycle before merging: a bounded
     // reachability query on the committed structure replaces the full
     // post-merge isAcyclic() pass.
@@ -124,6 +126,8 @@ CandidateOutcome findMsOptMerge(quotient::QuotientGraph& q,
       // evaluation (valid until the next commit changes memberships).
       const auto memoKey = std::make_tuple(host, nu, third);
       const auto memoIt = memReqMemo.find(memoKey);
+      obs::add(memoIt != memReqMemo.end() ? obs::Counter::kMergeMemoHits
+                                          : obs::Counter::kMergeMemoMisses);
       const double memReq =
           memoIt != memReqMemo.end()
               ? memoIt->second
@@ -280,6 +284,7 @@ MergeStepResult mergeUnassignedToAssigned(quotient::QuotientGraph& q,
       if (evalPtr != nullptr) evalPtr->rebuild();  // structural commit
       memReqMemo.clear();  // memberships changed: memoized probes are stale
       ++result.mergesCommitted;
+      obs::add(obs::Counter::kMergeCommitted);
       continue;
     }
 

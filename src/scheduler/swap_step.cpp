@@ -7,6 +7,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "quotient/incremental.hpp"
 
 namespace dagpm::scheduler {
@@ -178,6 +179,11 @@ SwapStepResult improveBySwaps(quotient::QuotientGraph& q,
           pairs.push_back({i, j});
         }
       }
+      const obs::Span roundSpan(
+          "swap.scan_round", "round=" + std::to_string(round) +
+                                 " pairs=" + std::to_string(pairs.size()));
+      obs::add(obs::Counter::kSwapRounds);
+      obs::add(obs::Counter::kSwapPairsProbed, pairs.size());
       makespans.assign(pairs.size(),
                        std::numeric_limits<double>::infinity());
       const std::int64_t numPairs = static_cast<std::int64_t>(pairs.size());
@@ -214,6 +220,7 @@ SwapStepResult improveBySwaps(quotient::QuotientGraph& q,
       assert(eval.makespan() == bestMakespan);
       result.makespan = bestMakespan;
       ++result.swapsCommitted;
+      obs::add(obs::Counter::kSwapsCommitted);
     }
   }
 
@@ -258,6 +265,7 @@ SwapStepResult improveBySwaps(quotient::QuotientGraph& q,
           moved.insert(b);
           result.makespan = makespan;
           ++result.idleMovesCommitted;
+          obs::add(obs::Counter::kSwapIdleMoves);
           progress = true;
           break;  // critical path changed; recompute it
         }

@@ -6,6 +6,7 @@
 
 #include "graph/subgraph.hpp"
 #include "memory/simulate.hpp"
+#include "obs/obs.hpp"
 #include "quotient/quotient.hpp"
 
 namespace dagpm::sim {
@@ -246,10 +247,12 @@ void Engine::dispatchEdgeTransfer(graph::EdgeId e) {
   const graph::Edge& edge = g_.edge(e);
   ++result_.numTransfers;
   result_.transferVolume += edge.cost;
+  obs::add(obs::Counter::kSimTransfers);
   TransferState t;
   t.bytes = edge.cost;
   t.total = edge.cost * model_->transferFactor(e);
   t.remaining = t.total;
+  t.dispatched = now_;
   t.srcBlock = schedule_.blockOf[edge.src];
   t.dstBlock = schedule_.blockOf[edge.dst];
   t.dstTask = edge.dst;
@@ -264,12 +267,14 @@ void Engine::dispatchBlockTransfer(quotient::BlockId from,
                                    quotient::BlockId to, double cost) {
   ++result_.numTransfers;
   result_.transferVolume += cost;
+  obs::add(obs::Counter::kSimTransfers);
   TransferState t;
   t.bytes = cost;
   t.total = cost * model_->transferFactor(
                        (static_cast<std::uint64_t>(from) << 32) |
                        static_cast<std::uint64_t>(to));
   t.remaining = t.total;
+  t.dispatched = now_;
   t.srcBlock = from;
   t.dstBlock = to;
   if (t.remaining <= 0.0) {
@@ -280,6 +285,10 @@ void Engine::dispatchBlockTransfer(quotient::BlockId from,
 }
 
 void Engine::deliver(const TransferState& t) {
+  if (opts_.recordTransfers) {
+    result_.transferLog.push_back(TransferRecord{
+        t.srcBlock, t.dstBlock, t.dstTask, t.bytes, t.dispatched, now_});
+  }
   BlockState& br = blocks_[t.dstBlock];
   if (t.dstTask != graph::kInvalidVertex) {
     // Eager mode: one task's remote input arrived; buffer it until the
@@ -304,6 +313,7 @@ void Engine::completeTask(platform::ProcessorId p) {
   result_.makespan = std::max(result_.makespan, now_);
   taskDone_[v] = 1;
   ++tasksDone_;
+  obs::add(obs::Counter::kSimTasksExecuted);
   BlockState& br = blocks_[b];
   ++br.done;
 

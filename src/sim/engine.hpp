@@ -107,12 +107,24 @@ struct RunningTaskState {
 
 /// One in-flight transfer on the shared backbone at checkpoint time.
 struct TransferState {
-  double remaining = 0.0;  // perturbed volume left to move
-  double total = 0.0;      // perturbed volume at dispatch
-  double bytes = 0.0;      // unperturbed volume
+  double remaining = 0.0;   // perturbed volume left to move
+  double total = 0.0;       // perturbed volume at dispatch
+  double bytes = 0.0;       // unperturbed volume
+  double dispatched = 0.0;  // simulated time the transfer was dispatched
   quotient::BlockId srcBlock = quotient::kNoBlock;
   quotient::BlockId dstBlock = quotient::kNoBlock;
   graph::VertexId dstTask = graph::kInvalidVertex;  // eager mode only
+};
+
+/// One completed transfer, recorded when SimOptions::recordTransfers is set
+/// (the schedule-timeline trace exporter renders these as link slices).
+struct TransferRecord {
+  quotient::BlockId srcBlock = quotient::kNoBlock;
+  quotient::BlockId dstBlock = quotient::kNoBlock;
+  graph::VertexId dstTask = graph::kInvalidVertex;  // eager mode only
+  double bytes = 0.0;  // unperturbed volume
+  double start = 0.0;  // dispatch time
+  double end = 0.0;    // delivery time (>= start)
 };
 
 /// Complete in-flight state of a paused block-synchronous run. Block ids
@@ -149,6 +161,10 @@ struct SimOptions {
   /// must match the plan (block count, task count) — typically it was
   /// captured from this plan, or adapted to it by the rescheduler.
   const SimCheckpoint* resume = nullptr;
+  /// Record every completed transfer into SimResult::transferLog (used by
+  /// the obs schedule-timeline exporter). A resumed run logs only the
+  /// transfers delivered after the checkpoint.
+  bool recordTransfers = false;
 };
 
 struct SimResult {
@@ -167,6 +183,8 @@ struct SimResult {
   /// exceeded its memory size.
   std::size_t memoryOverflows = 0;
   double maxMemoryExcess = 0.0;  // worst usage - memory over all episodes
+  /// Completed transfers, populated only when SimOptions::recordTransfers.
+  std::vector<TransferRecord> transferLog;
 };
 
 namespace detail {

@@ -16,6 +16,7 @@
 #include "graph/generators.hpp"
 #include "graph/topology.hpp"
 #include "memory/oracle.hpp"
+#include "obs/obs.hpp"
 #include "partition/partitioner.hpp"
 #include "quotient/incremental.hpp"
 #include "quotient/quotient.hpp"
@@ -192,6 +193,44 @@ TEST_P(PipelineFuzz, RandomInstancesAlwaysValidOrInfeasible) {
     // 26 loses 8.6%). Guard against gross regressions only; the aggregate
     // win is asserted by the Headline integration tests.
     EXPECT_LE(part.makespan, mem.makespan * 1.2 + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST_P(PipelineFuzz, TracingNeverChangesSchedules) {
+  const std::uint64_t seed = GetParam();
+  support::Rng rng(seed * 53 + 5);
+  graph::LayeredDagConfig gcfg;
+  gcfg.layers = 3 + static_cast<int>(rng.uniformInt(0, 5));
+  gcfg.maxWidth = 2 + static_cast<int>(rng.uniformInt(0, 6));
+  gcfg.seed = seed * 613;
+  const Dag g = graph::randomLayeredDag(gcfg);
+  platform::Cluster cluster = platform::makeCluster(
+      platform::Heterogeneity::kDefault, platform::ClusterSize::kSmall);
+  cluster.scaleMemoriesToFit(g.maxTaskMemoryRequirement());
+
+  scheduler::DagHetPartConfig cfg;
+  cfg.seed = seed;
+
+  const bool countersWere = obs::countersEnabled();
+  const bool tracingWas = obs::tracingEnabled();
+  obs::enableCounters(false);
+  obs::enableTracing(false);
+  const scheduler::ScheduleResult plain = scheduler::dagHetPart(g, cluster, cfg);
+  obs::enableCounters(true);
+  obs::enableTracing(true);
+  const scheduler::ScheduleResult traced =
+      scheduler::dagHetPart(g, cluster, cfg);
+  obs::enableCounters(countersWere);
+  obs::enableTracing(tracingWas);
+  obs::resetForTest();
+
+  // Observability must be a pure observer: enabling it cannot perturb the
+  // search. Bit-wise equality, not tolerance.
+  ASSERT_EQ(plain.feasible, traced.feasible) << "seed " << seed;
+  if (plain.feasible) {
+    EXPECT_EQ(plain.makespan, traced.makespan) << "seed " << seed;
+    EXPECT_EQ(plain.blockOf, traced.blockOf) << "seed " << seed;
+    EXPECT_EQ(plain.procOfBlock, traced.procOfBlock) << "seed " << seed;
   }
 }
 

@@ -259,6 +259,27 @@ double Span::seconds() const noexcept {
 
 int currentSpanDepth() noexcept { return threadState().spanDepth; }
 
+ThreadCounterScope::ThreadCounterScope()
+    : state_(&threadState()), start_(kNumCounters, 0) {
+  const ThreadState& s = *static_cast<const ThreadState*>(state_);
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    start_[i] = s.cells[i].load(std::memory_order_relaxed);
+  }
+}
+
+std::vector<CounterValue> ThreadCounterScope::deltas() const {
+  const ThreadState& s = *static_cast<const ThreadState*>(state_);
+  std::vector<CounterValue> out;
+  out.reserve(kNumCounters);
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const std::uint64_t now = s.cells[i].load(std::memory_order_relaxed);
+    const Counter c = static_cast<Counter>(i);
+    out.push_back(CounterValue{kCounterNames[i],
+                               counterMergesByMax(c) ? now : now - start_[i]});
+  }
+  return out;
+}
+
 void enableCounters(bool on) noexcept {
   detail::gCountersEnabled.store(on, std::memory_order_relaxed);
 }

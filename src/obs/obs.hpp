@@ -148,6 +148,32 @@ struct CounterValue {
 /// All counters (zeros included) merged across threads, in enum order.
 [[nodiscard]] std::vector<CounterValue> counterSnapshot();
 
+/// Per-request counter attribution: snapshots the calling thread's counter
+/// cells at construction so deltas() reports exactly the counts this thread
+/// produced inside the scope. Zero hot-path cost — the per-thread cells are
+/// single-writer, so no extra bookkeeping runs while the scope is open.
+///
+/// The deltas are exact when the scoped work runs entirely on the
+/// constructing thread (the SchedulerService executor guarantees this by
+/// running each request single-threaded; see ServiceConfig). Work fanned out
+/// to other threads lands only in the process-global totals. Counters must
+/// be enabled for deltas to be non-zero.
+class ThreadCounterScope {
+ public:
+  ThreadCounterScope();
+  ThreadCounterScope(const ThreadCounterScope&) = delete;
+  ThreadCounterScope& operator=(const ThreadCounterScope&) = delete;
+
+  /// Sum-merged counters: this thread's value now minus at construction.
+  /// Max-merged gauges (span.peak_depth) report the current thread value.
+  /// Must be called on the constructing thread.
+  [[nodiscard]] std::vector<CounterValue> deltas() const;
+
+ private:
+  void* state_;  // the constructing thread's counter block
+  std::vector<std::uint64_t> start_;
+};
+
 /// The DAGPM_STATS text: one "name value" line per counter, sorted by name.
 /// Bit-identical across OMP_NUM_THREADS for thread-count-invariant work.
 [[nodiscard]] std::string statsText();

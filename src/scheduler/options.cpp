@@ -5,12 +5,24 @@
 namespace dagpm::scheduler {
 
 bool fullReevaluationForced() {
-  static const bool forced = [] {
-    const char* value = std::getenv("DAGPM_FULL_REEVAL");
-    return value != nullptr && *value != '\0' &&
-           !(value[0] == '0' && value[1] == '\0');
-  }();
-  return forced;
+  // Deliberately NOT cached in a static: a process-lifetime cache froze the
+  // first observed value, so per-request SchedulerOptions could never
+  // override it and tests flipping the env mid-process read stale state
+  // (ISSUE 8). Callers that must not consult the environment per solve —
+  // the SchedulerService executor — fold the value into their options once
+  // via resolveEnvironment() and set envResolved.
+  const char* value = std::getenv("DAGPM_FULL_REEVAL");
+  return value != nullptr && *value != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+SchedulerOptions resolveEnvironment(SchedulerOptions options) {
+  if (!options.envResolved) {
+    options.fullReevaluation =
+        options.fullReevaluation || fullReevaluationForced();
+    options.envResolved = true;
+  }
+  return options;
 }
 
 }  // namespace dagpm::scheduler

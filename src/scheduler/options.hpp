@@ -21,6 +21,12 @@ struct SchedulerOptions {
   /// bench/scheduler_scaling speedup measurement. DAGPM_FULL_REEVAL=1
   /// forces it process-wide (see fullReevaluationForced).
   bool fullReevaluation = false;
+  /// True once DAGPM_FULL_REEVAL has been folded into `fullReevaluation` by
+  /// resolveEnvironment(); useFullReevaluation then skips the per-solve env
+  /// read entirely. The SchedulerService resolves the environment once at
+  /// construction and stamps every job's options, so concurrent requests
+  /// never race a mid-process setenv and per-request overrides stick.
+  bool envResolved = false;
 };
 
 /// The cost model selected by the options: nullptr = the legacy uncontended
@@ -32,13 +38,21 @@ inline const comm::CommCostModel* commModelFor(
 }
 
 /// True when DAGPM_FULL_REEVAL is set to a non-empty value other than "0":
-/// the process-wide escape hatch disabling incremental evaluation. Read
-/// once and cached.
+/// the process-wide escape hatch disabling incremental evaluation. Reads
+/// the environment fresh on every call (no process-lifetime cache), so
+/// mid-process changes are visible; resolve once per run at solve entry.
 bool fullReevaluationForced();
 
-/// The effective full-reevaluation switch for a scheduler run.
+/// Folds DAGPM_FULL_REEVAL into the options and marks them resolved; a
+/// no-op when the caller already resolved them. Resolved options are frozen:
+/// later environment changes do not affect them.
+SchedulerOptions resolveEnvironment(SchedulerOptions options);
+
+/// The effective full-reevaluation switch for a scheduler run. Resolved
+/// options answer without touching the environment.
 inline bool useFullReevaluation(const SchedulerOptions& options) {
-  return options.fullReevaluation || fullReevaluationForced();
+  return options.fullReevaluation ||
+         (!options.envResolved && fullReevaluationForced());
 }
 
 }  // namespace dagpm::scheduler

@@ -1,0 +1,66 @@
+#pragma once
+// Multi-tenant co-scheduling: several (cached) schedules share one cluster.
+//
+// A service that caches schedules per workflow still has to answer the
+// multi-tenant question: when several tenants' workflows execute on the
+// SAME cluster at the same time, their inter-block transfers contend for
+// the shared backbone even though each schedule was computed in isolation.
+// Following the multi-criteria pipeline-workflow line (Benoit, Rehn-Sonigo
+// & Robert 2007), we price that interference through the existing
+// comm::CommCostModel seam instead of inventing a second physics: the
+// tenants' quotient fluid problems are combined into one evaluation whose
+// transfers all share the links, so FairShareCommModel charges exactly the
+// cross-tenant contention the simulator would realize.
+//
+// The fluid evaluation keeps each block's compute duration fixed (the fluid
+// approximation: compute is not serialized when two tenants' blocks land on
+// the same processor), so the result isolates the *communication* price of
+// co-residency — an optimistic bound on compute, exact on transfers, and
+// deterministic.
+
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "graph/dag.hpp"
+#include "platform/cluster.hpp"
+#include "scheduler/solution.hpp"
+
+namespace dagpm::service {
+
+/// One tenant: a workflow plus its (cached or fresh) schedule on the shared
+/// cluster, released at `arrival` (an open-loop offset; 0 = present from
+/// the start).
+struct Tenant {
+  const graph::Dag* dag = nullptr;
+  const scheduler::ScheduleResult* schedule = nullptr;
+  double arrival = 0.0;
+};
+
+struct TenantOutcome {
+  bool ok = false;
+  double soloMakespan = 0.0;   // model-priced, tenant alone on the cluster
+  double start = 0.0;          // first block start in the co-schedule
+  double finish = 0.0;         // last block finish in the co-schedule
+  double responseTime = 0.0;   // finish - arrival
+  /// responseTime / soloMakespan: 1.0 = no interference, >1 = the tenant
+  /// pays for cross-tenant link contention.
+  double stretch = 0.0;
+};
+
+struct CoScheduleResult {
+  bool ok = false;             // false: some tenant schedule is unusable
+  double combinedMakespan = 0.0;  // last finish over all tenants
+  std::vector<TenantOutcome> tenants;
+};
+
+/// Evaluates the tenants' schedules executing concurrently on `cluster`
+/// under `model`. Every tenant's schedule must be feasible and refer to
+/// processors of `cluster`. With the uncontended model, each tenant's
+/// response time equals its solo makespan (transfers never interact) — the
+/// differential the tests pin; with the fair-share model, stretches >= 1
+/// measure cross-tenant contention.
+CoScheduleResult coSchedule(const std::vector<Tenant>& tenants,
+                            const platform::Cluster& cluster,
+                            const comm::CommCostModel& model);
+
+}  // namespace dagpm::service

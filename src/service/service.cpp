@@ -1,0 +1,256 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace dagpm::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point from) {
+  return std::chrono::duration<double>(Clock::now() - from).count();
+}
+
+}  // namespace
+
+SchedulerService::SchedulerService(ServiceConfig cfg)
+    : cfg_(cfg),
+      // The re-entrancy fix of ISSUE 8: the environment is consulted here,
+      // exactly once, on the constructing thread. Workers only ever see the
+      // resolved per-job options, so a setenv from another thread (or a
+      // later per-request override) cannot corrupt in-flight solves.
+      envFullReeval_(scheduler::fullReevaluationForced()),
+      cache_(cfg.cacheCapacity) {
+  const int threads = std::max(1, cfg_.numThreads);
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+SchedulerService::~SchedulerService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queueNotEmpty_.notify_all();
+  queueNotFull_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool SchedulerService::enqueue(Request&& request, std::future<Response>* out,
+                               bool blocking) {
+  assert(request.dag != nullptr && request.cluster != nullptr);
+  // Fold the construction-time environment into the job's options unless
+  // the caller resolved them already (their explicit choice then wins).
+  if (!request.config.options.envResolved) {
+    request.config.options.fullReevaluation =
+        request.config.options.fullReevaluation || envFullReeval_;
+    request.config.options.envResolved = true;
+  }
+  if (cfg_.singleThreadedJobs) request.config.parallelSweep = false;
+  const std::uint64_t fp = fingerprintRequest(
+      *request.dag, *request.cluster, request.config, request.algorithm);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (blocking) {
+    queueNotFull_.wait(lock, [this] {
+      return queue_.size() < cfg_.queueCapacity || stopping_;
+    });
+  } else if (queue_.size() >= cfg_.queueCapacity) {
+    ++rejected_;
+    return false;
+  }
+  if (stopping_) {
+    ++rejected_;
+    return false;
+  }
+  Job job;
+  job.id = nextRequestId_++;
+  job.fingerprint = fp;
+  job.request = std::move(request);
+  job.submitted = Clock::now();
+  if (out != nullptr) *out = job.promise.get_future();
+  queue_.push_back(std::move(job));
+  ++submitted_;
+  queueNotEmpty_.notify_one();
+  return true;
+}
+
+std::future<Response> SchedulerService::submit(Request request) {
+  std::future<Response> out;
+  enqueue(std::move(request), &out, /*blocking=*/true);
+  return out;  // invalid only when submitted during shutdown
+}
+
+bool SchedulerService::trySubmit(Request request, std::future<Response>* out) {
+  return enqueue(std::move(request), out, /*blocking=*/false);
+}
+
+void SchedulerService::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && activeWorkers_ == 0; });
+}
+
+void SchedulerService::workerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queueNotEmpty_.wait(lock,
+                          [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++activeWorkers_;
+      queueNotFull_.notify_one();
+    }
+    process(std::move(job));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+      --activeWorkers_;
+      if (queue_.empty() && activeWorkers_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void SchedulerService::process(Job job) {
+  Response resp;
+  resp.requestId = job.id;
+  resp.fingerprint = job.fingerprint;
+  resp.queueSeconds = secondsSince(job.submitted);
+  // Per-request latency attribution: the whole request (cache probe, wait,
+  // or solve) lands as one span tagged with the request id on this worker's
+  // trace track.
+  const obs::Span span("service.request", "id=" + std::to_string(job.id));
+
+  // Serve-or-register, atomically with respect to other workers: either the
+  // fingerprint is cached, or an identical solve is in flight, or this
+  // request becomes the leader. Publishing (cache insert + in-flight erase)
+  // holds the same mutex, so no interleaving lets a duplicate solve slip
+  // through — the set of actual solves is deterministic.
+  std::shared_ptr<InFlight> leader;  // set: wait on another worker's solve
+  std::shared_ptr<InFlight> mine;    // set: this request solves
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::optional<scheduler::ScheduleResult> hit =
+            cache_.lookup(job.fingerprint)) {
+      ++cacheHits_;
+      resp.cacheHit = true;
+      resp.schedule = *std::move(hit);
+      resp.totalSeconds = secondsSince(job.submitted);
+      job.promise.set_value(std::move(resp));
+      return;
+    }
+    if (cfg_.coalesceIdentical) {
+      const auto it = inFlight_.find(job.fingerprint);
+      if (it != inFlight_.end()) {
+        leader = it->second;
+        ++coalesced_;
+      } else {
+        mine = std::make_shared<InFlight>();
+        inFlight_.emplace(job.fingerprint, mine);
+      }
+    }
+  }
+
+  if (leader != nullptr) {
+    // Wait for the leader's solve; it is running on another worker right
+    // now (in-flight entries only exist while their job is active), so the
+    // wait is bounded by one solve and cannot deadlock the pool.
+    try {
+      resp.schedule = leader->result.get();
+      resp.coalesced = true;
+      resp.totalSeconds = secondsSince(job.submitted);
+      job.promise.set_value(std::move(resp));
+    } catch (...) {
+      job.promise.set_exception(std::current_exception());
+    }
+    return;
+  }
+
+  scheduler::ScheduleResult schedule;
+  try {
+    schedule = solve(job, &resp.solveSeconds, &resp.counters);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (mine != nullptr) inFlight_.erase(job.fingerprint);
+    }
+    if (mine != nullptr) mine->promise.set_exception(std::current_exception());
+    job.promise.set_exception(std::current_exception());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++solves_;
+    if (!schedule.feasible) ++infeasible_;
+    cache_.insert(job.fingerprint, schedule);
+    if (mine != nullptr) inFlight_.erase(job.fingerprint);
+  }
+  if (mine != nullptr) mine->promise.set_value(schedule);
+  resp.schedule = std::move(schedule);
+  resp.totalSeconds = secondsSince(job.submitted);
+  job.promise.set_value(std::move(resp));
+}
+
+scheduler::ScheduleResult SchedulerService::solve(
+    const Job& job, double* solveSeconds,
+    std::vector<obs::CounterValue>* counters) {
+  const Request& r = job.request;
+  const obs::Span span("service.solve",
+                       std::string(algorithmName(r.algorithm)) +
+                           " id=" + std::to_string(job.id));
+  // The job runs entirely on this thread (singleThreadedJobs disables the
+  // inner OpenMP sweep), so the thread-local delta is this request's exact
+  // probe/repair/merge work.
+  const obs::ThreadCounterScope scope;
+  scheduler::ScheduleResult result;
+  switch (r.algorithm) {
+    case Algorithm::kDagHetPart:
+      result = scheduler::dagHetPart(*r.dag, *r.cluster, r.config);
+      break;
+    case Algorithm::kDagHetMem: {
+      scheduler::DagHetMemConfig mem;
+      mem.oracle = r.config.oracle;
+      result = scheduler::dagHetMem(*r.dag, *r.cluster, mem);
+      break;
+    }
+    case Algorithm::kBest:
+      result = scheduler::scheduleBest(*r.dag, *r.cluster, r.config);
+      break;
+  }
+  *solveSeconds = span.seconds();
+  if (obs::countersEnabled()) *counters = scope.deltas();
+  return result;
+}
+
+ServiceMetrics SchedulerService::metrics() const {
+  ServiceMetrics m;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    m.submitted = submitted_;
+    m.rejected = rejected_;
+    m.completed = completed_;
+    m.cacheHits = cacheHits_;
+    m.coalesced = coalesced_;
+    m.solves = solves_;
+    m.infeasible = infeasible_;
+    m.queueDepth = queue_.size();
+  }
+  m.cacheSize = cache_.size();
+  m.cache = cache_.stats();
+  // One metrics path: the service reports through the same deterministic
+  // counter table and span aggregates everything else writes to.
+  m.counters = obs::counterSnapshot();
+  m.spans = obs::spanAggregates();
+  return m;
+}
+
+}  // namespace dagpm::service

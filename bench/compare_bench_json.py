@@ -8,6 +8,11 @@ numeric column drifts beyond the tolerance. Machine-dependent columns
 are always ignored; everything
 else (makespans, ratios, schedulability counts, robustness slowdowns) is
 deterministic for a fixed scale/seed configuration and must reproduce.
+Search-effort counters such as ``*_nodes_visited`` (the branch-and-bound
+proof size in bench/optimality_gap) are deterministic by the same argument
+and deliberately NOT in the ignore list: a drifting node count means the
+search explored a different tree, which is a behavior change to re-record,
+not noise.
 
 Usage:
     bench/compare_bench_json.py BASELINE CURRENT [--rtol 1e-6] [--atol 1e-9]

@@ -114,6 +114,28 @@ class CompareBenchJsonTest(unittest.TestCase):
         result = run_checker(BASE_DOC, current)
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
 
+    def test_nodes_visited_drift_is_a_regression(self):
+        # Search-effort counters (optimality_gap's bnb_nodes_visited) are
+        # deterministic proof sizes, not timing noise: drift must gate.
+        baseline = copy.deepcopy(BASE_DOC)
+        baseline["rows"][0]["bnb_nodes_visited"] = 16.0
+        current = copy.deepcopy(baseline)
+        current["rows"][0]["bnb_nodes_visited"] = 17.0
+        result = run_checker(baseline, current)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("bnb_nodes_visited", result.stdout)
+
+    def test_nodes_visited_stable_with_drifted_seconds_passes(self):
+        # The companion *_seconds column on the same row stays machine noise
+        # even when a gated search counter sits next to it.
+        baseline = copy.deepcopy(BASE_DOC)
+        baseline["rows"][0]["bnb_nodes_visited"] = 16.0
+        baseline["rows"][0]["bnb_seconds"] = 0.01
+        current = copy.deepcopy(baseline)
+        current["rows"][0]["bnb_seconds"] = 9999.0
+        result = run_checker(baseline, current)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
     def test_stats_counter_drift_is_a_regression(self):
         current = copy.deepcopy(BASE_DOC)
         current["stats"]["merge.probes"] = 421.0

@@ -1,0 +1,169 @@
+#include "anchor/portfolio.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "scheduler/daghetmem.hpp"
+
+namespace dagpm::anchor {
+
+namespace {
+
+/// Runs the job indices in `queue` on `numThreads` workers — the service
+/// executor's pool, pre-filled (workers drain the deque and exit). Each
+/// worker pins itself to one OpenMP thread so an arm's inner parallel
+/// regions (e.g. the Step-4 swap scan) stay on the worker and the
+/// ThreadCounterScope delta is exact.
+void drainOnPool(std::deque<std::size_t> queue, int numThreads,
+                 const std::function<void(std::size_t)>& job) {
+  std::mutex mu;
+  const auto worker = [&] {
+#ifdef _OPENMP
+    omp_set_num_threads(1);
+#endif
+    for (;;) {
+      std::size_t index;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (queue.empty()) return;
+        index = queue.front();
+        queue.pop_front();
+      }
+      job(index);
+    }
+  };
+  const int workers = std::max(
+      1, std::min(numThreads, static_cast<int>(queue.size())));
+  if (workers == 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace
+
+std::vector<PortfolioArm> defaultArms(const platform::Cluster& cluster,
+                                      const PortfolioConfig& cfg) {
+  std::vector<PortfolioArm> arms;
+  const auto candidates = scheduler::sweepCandidates(
+      cfg.heuristic.sweep,
+      static_cast<std::uint32_t>(cluster.numProcessors()));
+  for (const std::uint32_t kPrime : candidates) {
+    PortfolioArm arm;
+    arm.kind = PortfolioArm::Kind::kDagHetPartKPrime;
+    arm.name = "daghetpart.k" + std::to_string(kPrime);
+    arm.kPrime = kPrime;
+    arms.push_back(std::move(arm));
+  }
+  {
+    PortfolioArm arm;
+    arm.kind = PortfolioArm::Kind::kDagHetMem;
+    arm.name = "daghetmem";
+    arms.push_back(std::move(arm));
+  }
+  for (std::uint32_t i = 0; i < cfg.saArms; ++i) {
+    PortfolioArm arm;
+    arm.kind = PortfolioArm::Kind::kSaRefine;
+    arm.seed = cfg.anneal.seed + i;
+    arm.name = "sa.seed" + std::to_string(arm.seed);
+    arms.push_back(std::move(arm));
+  }
+  return arms;
+}
+
+PortfolioResult race(const graph::Dag& g, const platform::Cluster& cluster,
+                     const std::vector<PortfolioArm>& arms,
+                     const PortfolioConfig& cfg) {
+  const obs::Span span("anchor.portfolio",
+                       "arms=" + std::to_string(arms.size()));
+  PortfolioResult result;
+  result.arms.resize(arms.size());
+  if (arms.empty()) return result;
+
+  // The refinement arms need the heuristic winner as their seed, so the
+  // race runs in two waves sharing one pool pattern.
+  std::deque<std::size_t> heuristicWave, refineWave;
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    (arms[i].kind == PortfolioArm::Kind::kSaRefine ? refineWave
+                                                   : heuristicWave)
+        .push_back(i);
+  }
+
+  const scheduler::ScheduleResult* refineSeed = nullptr;
+  const auto runArm = [&](std::size_t index) {
+    const PortfolioArm& arm = arms[index];
+    ArmOutcome& out = result.arms[index];
+    out.name = arm.name;
+    const obs::Span armSpan("portfolio.arm", arm.name);
+    const obs::ThreadCounterScope scope;
+    obs::add(obs::Counter::kPortfolioArms);
+    switch (arm.kind) {
+      case PortfolioArm::Kind::kDagHetPartKPrime: {
+        scheduler::DagHetPartConfig c = cfg.heuristic;
+        c.parallelSweep = false;
+        out.schedule =
+            scheduler::dagHetPartSingle(g, cluster, arm.kPrime, c);
+        break;
+      }
+      case PortfolioArm::Kind::kDagHetMem: {
+        scheduler::DagHetMemConfig c;
+        c.oracle = cfg.heuristic.oracle;
+        out.schedule = scheduler::dagHetMem(g, cluster, c);
+        break;
+      }
+      case PortfolioArm::Kind::kSaRefine: {
+        AnnealConfig c = cfg.anneal;
+        c.parallelRestarts = false;
+        c.seed = arm.seed;
+        if (refineSeed != nullptr && refineSeed->feasible) {
+          out.schedule = refine(g, cluster, *refineSeed, c).schedule;
+        }
+        break;
+      }
+    }
+    out.feasible = out.schedule.feasible;
+    out.makespan = out.schedule.makespan;
+    out.seconds = armSpan.seconds();
+    if (obs::countersEnabled()) out.counters = scope.deltas();
+  };
+
+  drainOnPool(std::move(heuristicWave), cfg.numThreads, runArm);
+
+  // Interim winner of the heuristic wave: least (makespan, arm index).
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    if (arms[i].kind == PortfolioArm::Kind::kSaRefine) continue;
+    const ArmOutcome& out = result.arms[i];
+    if (!out.feasible) continue;
+    if (refineSeed == nullptr || out.makespan < refineSeed->makespan) {
+      refineSeed = &out.schedule;
+    }
+  }
+
+  drainOnPool(std::move(refineWave), cfg.numThreads, runArm);
+
+  for (std::uint32_t i = 0; i < result.arms.size(); ++i) {
+    const ArmOutcome& out = result.arms[i];
+    if (!out.feasible) continue;
+    if (result.winningArm == kNoArm ||
+        out.makespan < result.schedule.makespan) {
+      result.winningArm = i;
+      result.schedule = out.schedule;
+    }
+  }
+  return result;
+}
+
+}  // namespace dagpm::anchor

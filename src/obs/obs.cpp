@@ -27,6 +27,11 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 constexpr const char* kCounterNames[kNumCounters] = {
+    "anneal.accepted",     // kAnnealAccepted
+    "anneal.proposed",     // kAnnealProposed
+    "anneal.restarts",     // kAnnealRestarts
+    "bnb.nodes_pruned",    // kBnbNodesPruned
+    "bnb.nodes_visited",   // kBnbNodesVisited
     "coarsen.levels",      // kCoarsenLevels
     "eval.commits",        // kEvalCommits
     "eval.cycle_checks",   // kEvalCycleChecks
@@ -40,6 +45,7 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "merge.memo.hits",     // kMergeMemoHits
     "merge.memo.misses",   // kMergeMemoMisses
     "merge.probes",        // kMergeProbes
+    "portfolio.arms",      // kPortfolioArms
     "quotient.merges",     // kQuotientMerges
     "quotient.rollbacks",  // kQuotientRollbacks
     "resched.accepted",    // kReschedAccepted

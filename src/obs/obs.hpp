@@ -31,7 +31,12 @@ namespace dagpm::obs {
 /// Named monotonic counters. Keep the enum sorted by name; snapshot order
 /// follows the enum, so the DAGPM_STATS schema is stable by construction.
 enum class Counter : unsigned {
-  kCoarsenLevels = 0,   ///< coarsening levels built across all bisections
+  kAnnealAccepted = 0,  ///< SA/ILS moves accepted (incl. forced uphill)
+  kAnnealProposed,      ///< SA/ILS moves proposed (probe evaluations)
+  kAnnealRestarts,      ///< SA restarts completed
+  kBnbNodesPruned,      ///< B&B subtrees cut (memory/cycle/bound)
+  kBnbNodesVisited,     ///< B&B assignment nodes expanded
+  kCoarsenLevels,       ///< coarsening levels built across all bisections
   kEvalCommits,         ///< IncrementalEvaluator::commitAssign calls
   kEvalCycleChecks,     ///< mergeWouldCreateCycle shortcut queries
   kEvalProbesAssign,    ///< probeAssign calls (Step-4 swap/idle probes)
@@ -44,6 +49,7 @@ enum class Counter : unsigned {
   kMergeMemoHits,       ///< Step-3 blockRequirement memo hits
   kMergeMemoMisses,     ///< Step-3 blockRequirement memo misses (oracle runs)
   kMergeProbes,         ///< Step-3 candidate merge probes
+  kPortfolioArms,       ///< portfolio arms raced
   kQuotientMerges,      ///< QuotientGraph::merge transactions applied
   kQuotientRollbacks,   ///< QuotientGraph::rollback transactions undone
   kReschedAccepted,     ///< online reschedules accepted (splice applied)

@@ -13,6 +13,8 @@
 #include <omp.h>
 #endif
 
+#include "anchor/annealing.hpp"
+#include "anchor/bnb.hpp"
 #include "graph/generators.hpp"
 #include "graph/topology.hpp"
 #include "memory/oracle.hpp"
@@ -525,6 +527,61 @@ TEST_P(IncrementalFuzz, ParallelSwapScanIsThreadCountReproducible) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalFuzz,
                          testing::ValuesIn(fuzzSeeds(12)));
+
+// ---- optimality anchors ----------------------------------------------------
+
+class AnchorFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+/// Random tiny instances: the closed B&B optimum bounds every feasible
+/// schedule from below, the relaxation bounds the optimum, SA never worsens
+/// its seed, and everything the anchors return validates.
+TEST_P(AnchorFuzz, AnchorsBoundAndRefineConsistently) {
+  const std::uint64_t seed = GetParam();
+  const Dag g = test::randomLayeredDag(/*layers=*/3, /*width=*/2,
+                                       /*maxIn=*/2, seed * 31 + 7);
+  std::vector<platform::Processor> procs;
+  const auto kinds = platform::machineKinds(platform::Heterogeneity::kMore);
+  for (int p = 0; p < 3; ++p) {
+    procs.push_back(kinds[static_cast<std::size_t>(p) % kinds.size()]);
+  }
+  platform::Cluster cluster(std::move(procs), 1.0);
+  double maxReq = 0.0;
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    maxReq = std::max(maxReq, g.taskMemoryRequirement(v));
+  }
+  cluster.scaleMemoriesToFit(maxReq);
+  const memory::MemDagOracle oracle(g);
+
+  const anchor::BnbResult exact = anchor::solveExact(g, cluster);
+  ASSERT_TRUE(exact.closed);
+  EXPECT_LE(anchor::relaxationLowerBound(g, cluster),
+            exact.feasible ? exact.optimum
+                           : std::numeric_limits<double>::infinity());
+  const scheduler::ScheduleResult heuristic =
+      scheduler::scheduleBest(g, cluster);
+  if (heuristic.feasible) {
+    ASSERT_TRUE(exact.feasible);
+    EXPECT_LE(exact.optimum, heuristic.makespan);
+    const auto exactReport =
+        scheduler::validateSchedule(g, cluster, oracle, exact.schedule);
+    EXPECT_TRUE(exactReport.valid) << exactReport.error;
+
+    anchor::AnnealConfig anneal;
+    anneal.restarts = 2;
+    anneal.stepsPerRestart = 150;
+    anneal.descentSteps = 50;
+    const anchor::AnnealResult refined =
+        anchor::refine(g, cluster, heuristic, anneal);
+    EXPECT_LE(refined.refinedMakespan, heuristic.makespan);
+    EXPECT_LE(exact.optimum, refined.refinedMakespan);
+    const auto refinedReport =
+        scheduler::validateSchedule(g, cluster, oracle, refined.schedule);
+    EXPECT_TRUE(refinedReport.valid) << refinedReport.error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnchorFuzz,
+                         testing::ValuesIn(fuzzSeeds(10)));
 
 }  // namespace
 }  // namespace dagpm

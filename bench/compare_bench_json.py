@@ -29,6 +29,12 @@ import sys
 
 IGNORED_SUFFIXES = ("_seconds", "_runtime_ratio", "_rss_mb")
 
+# Integer event tallies from the fault-injection benches (bench/fault_recovery)
+# count discrete SplitMix64-drawn events, so "close" is meaningless: any drift
+# means a different fault sequence was applied. They are compared exactly,
+# whatever --rtol/--atol say.
+EXACT_SUFFIXES = ("_fail_stops", "_crashes", "_tasks_killed", "_retries")
+
 
 def row_key(row):
     """Identity of a row: its string-valued fields, sorted for stability."""
@@ -50,7 +56,14 @@ def compare_numbers(path, base, cur, rtol, atol, failures):
             failures.append(f"{path}: column '{field}' missing in current")
             continue
         b, c = base[field], cur[field]
-        if abs(c - b) > atol + rtol * abs(b):
+        if field.endswith(EXACT_SUFFIXES):
+            if c != b:
+                failures.append(
+                    f"{path}.{field}: baseline {b:.9g} vs current {c:.9g} "
+                    f"(exact-match column; a drifting fault tally means a "
+                    f"different event sequence)"
+                )
+        elif abs(c - b) > atol + rtol * abs(b):
             failures.append(
                 f"{path}.{field}: baseline {b:.9g} vs current {c:.9g} "
                 f"(drift {c - b:+.3g})"

@@ -136,6 +136,28 @@ class CompareBenchJsonTest(unittest.TestCase):
         result = run_checker(baseline, current)
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
 
+    def test_fault_tally_columns_match_exactly(self):
+        # Fault tallies count discrete injected events; they gate at zero
+        # tolerance no matter how generous --rtol is.
+        baseline = copy.deepcopy(BASE_DOC)
+        baseline["rows"][0]["total_fail_stops"] = 40.0
+        baseline["rows"][0]["total_crashes"] = 12.0
+        baseline["rows"][0]["total_tasks_killed"] = 31.0
+        baseline["rows"][0]["total_retries"] = 3.0
+        current = copy.deepcopy(baseline)
+        current["rows"][0]["total_fail_stops"] = 41.0
+        result = run_checker(baseline, current, "--rtol", "0.5")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("total_fail_stops", result.stdout)
+        self.assertIn("exact-match", result.stdout)
+
+    def test_identical_fault_tallies_pass(self):
+        baseline = copy.deepcopy(BASE_DOC)
+        baseline["rows"][0]["total_fail_stops"] = 40.0
+        baseline["rows"][0]["total_tasks_killed"] = 31.0
+        result = run_checker(baseline, copy.deepcopy(baseline))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
     def test_stats_counter_drift_is_a_regression(self):
         current = copy.deepcopy(BASE_DOC)
         current["stats"]["merge.probes"] = 421.0

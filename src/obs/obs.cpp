@@ -39,6 +39,9 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "eval.probes.merged",  // kEvalProbesMerged
     "eval.rebuilds",       // kEvalRebuilds
     "eval.repair_pushes",  // kEvalRepairPushes
+    "fault.fail_stops",    // kFaultFailStops
+    "fault.tasks_killed",  // kFaultTasksKilled
+    "fault.transient_crashes",  // kFaultTransientCrashes
     "heft.edges_priced",   // kHeftEdgesPriced
     "heft.tasks_placed",   // kHeftTasksPlaced
     "merge.committed",     // kMergeCommitted
@@ -49,10 +52,21 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "quotient.merges",     // kQuotientMerges
     "quotient.rollbacks",  // kQuotientRollbacks
     "resched.accepted",    // kReschedAccepted
+    "resched.fault.evacuations",  // kReschedFaultEvacuations
+    "resched.fault.greedy_wins",  // kReschedFaultGreedyWins
+    "resched.fault.retries",      // kReschedFaultRetries
+    "resched.fault.triggers",     // kReschedFaultTriggers
     "resched.memo.hits",   // kReschedMemoHits
     "resched.memo.misses", // kReschedMemoMisses
     "resched.rejected",    // kReschedRejected
     "resched.triggers",    // kReschedTriggers
+    "service.breaker_probes",     // kServiceBreakerProbes
+    "service.breaker_trips",      // kServiceBreakerTrips
+    "service.deadline_misses",    // kServiceDeadlineMisses
+    "service.fallback_cache",     // kServiceFallbackCache
+    "service.fallback_heft",      // kServiceFallbackHeft
+    "service.fallback_reject",    // kServiceFallbackReject
+    "service.worker_exceptions",  // kServiceWorkerExceptions
     "sim.tasks_executed",  // kSimTasksExecuted
     "sim.transfers",       // kSimTransfers
     "span.peak_depth",     // kSpanPeakDepth

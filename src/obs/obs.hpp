@@ -43,6 +43,9 @@ enum class Counter : unsigned {
   kEvalProbesMerged,    ///< probeMerged calls (Step-3 merge probes)
   kEvalRebuilds,        ///< full evaluator rebuilds
   kEvalRepairPushes,    ///< cone-repair heap pushes across all probes
+  kFaultFailStops,      ///< fail-stop faults applied by the simulator
+  kFaultTasksKilled,    ///< running tasks killed at fault instants
+  kFaultTransientCrashes,  ///< transient crashes applied by the simulator
   kHeftEdgesPriced,     ///< HEFT cross-block edges priced via CommCostModel
   kHeftTasksPlaced,     ///< HEFT priority-list placements
   kMergeCommitted,      ///< Step-3 merges committed
@@ -53,10 +56,21 @@ enum class Counter : unsigned {
   kQuotientMerges,      ///< QuotientGraph::merge transactions applied
   kQuotientRollbacks,   ///< QuotientGraph::rollback transactions undone
   kReschedAccepted,     ///< online reschedules accepted (splice applied)
+  kReschedFaultEvacuations,  ///< lost blocks evacuated off dead processors
+  kReschedFaultGreedyWins,   ///< fault repairs where greedy re-execution won
+  kReschedFaultRetries,      ///< fault repairs re-attempted after backoff
+  kReschedFaultTriggers,     ///< fault-triggered repair firings
   kReschedMemoHits,     ///< resched repair memo hits
   kReschedMemoMisses,   ///< resched repair memo misses
   kReschedRejected,     ///< online reschedules rejected by hindsight guard
   kReschedTriggers,     ///< trigger-policy firings
+  kServiceBreakerProbes,     ///< circuit-breaker half-open probe solves
+  kServiceBreakerTrips,      ///< worker circuit breakers tripped open
+  kServiceDeadlineMisses,    ///< requests that missed their deadline budget
+  kServiceFallbackCache,     ///< degraded requests served from the cache
+  kServiceFallbackHeft,      ///< degraded requests served by the HEFT rung
+  kServiceFallbackReject,    ///< degraded requests rejected outright
+  kServiceWorkerExceptions,  ///< exceptions contained at the worker boundary
   kSimTasksExecuted,    ///< simulator task completions
   kSimTransfers,        ///< simulator transfers dispatched
   kSpanPeakDepth,       ///< max span-nesting depth observed (merged by max)

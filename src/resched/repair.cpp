@@ -157,8 +157,50 @@ RepairResult repairResidual(ResidualState& state,
                             const memory::MemDagOracle& oracle,
                             const RepairConfig& cfg) {
   RepairResult result;
+  constexpr double kSlack = 1.0 + 1e-12;
+  const auto deadProc = [&state](platform::ProcessorId p) {
+    return !state.procDead.empty() && state.procDead[p] != 0;
+  };
+
+  // Mandatory evacuation pass: every lost block must leave its fail-stop
+  // processor before anything else matters (the keep-current assignment is
+  // unrecoverable). Placement is the naive greedy one — the free surviving
+  // processor with the most spare memory, ties to the lowest id — which is
+  // exactly the re-execution baseline; in search mode the improvement
+  // rounds below then optimize from there. A lost block with no feasible
+  // target stays put (evacuations < evacuationsNeeded) and the driver
+  // retries after a backoff once other blocks complete and free processors.
+  if (!state.procDead.empty()) {
+    for (std::size_t i = 0; i < state.blocks.size(); ++i) {
+      ResidualBlock& rb = state.blocks[i];
+      if (!rb.alive || !deadProc(rb.proc)) continue;
+      ++result.evacuationsNeeded;
+      platform::ProcessorId target = platform::kNoProcessor;
+      double targetFree = -1.0;
+      for (platform::ProcessorId p = 0; p < cluster.numProcessors(); ++p) {
+        if (deadProc(p) || state.procHostsLive[p] != 0) continue;
+        const double free = capacityOf(state, cluster, p);
+        if (rb.memReq > free * kSlack) continue;
+        if (free > targetFree) {
+          targetFree = free;
+          target = p;
+        }
+      }
+      if (target == platform::kNoProcessor) continue;
+      state.procHostsLive[rb.proc] = 0;
+      rb.proc = target;
+      state.procHostsLive[target] = 1;
+      ++result.evacuations;
+    }
+  }
+
   result.projectedBefore = projectResidual(state, cluster, cfg.comm);
   double current = result.projectedBefore;
+  if (cfg.evacuateOnly) {
+    result.projectedAfter = current;
+    result.accepted = result.evacuations > 0;
+    return result;
+  }
   int mergeBudget = cfg.mergeProbeBudget;
   const double eps = 1e-12 * std::max(1.0, current);
   constexpr double kMemSlack = 1.0 + 1e-12;
@@ -184,7 +226,9 @@ RepairResult repairResidual(ResidualState& state,
       if (cfg.allowMoves) {
         const platform::ProcessorId from = bi.proc;
         for (platform::ProcessorId p = 0; p < cluster.numProcessors(); ++p) {
-          if (p == from || state.procHostsLive[p] != 0) continue;
+          if (p == from || state.procHostsLive[p] != 0 || deadProc(p)) {
+            continue;
+          }
           if (bi.memReq > capacityOf(state, cluster, p) * kMemSlack) continue;
           bi.proc = p;  // tentative; the projection ignores procHostsLive
           const double value = projectResidual(state, cluster, cfg.comm);
@@ -223,6 +267,9 @@ RepairResult repairResidual(ResidualState& state,
         for (const std::size_t j : neighbors) {
           ResidualBlock& bj = state.blocks[j];
           if (!bj.alive || bj.pinned || mergeBudget <= 0) continue;
+          // A lost started block carries an executed traversal prefix; a
+          // merge would re-traverse the union and discard it.
+          if (bi.doneSteps > 0 || bj.doneSteps > 0) continue;
           --mergeBudget;
           const auto memoKey = std::make_pair(j, i);
           const auto memoIt = memReqMemo.find(memoKey);
@@ -384,6 +431,11 @@ Splice buildSplice(const sim::SimPlan& plan, const sim::SimCheckpoint& ck,
   nk.transferVolume = ck.transferVolume;
   nk.memoryOverflows = ck.memoryOverflows;
   nk.maxMemoryExcess = ck.maxMemoryExcess;
+  // Fault state is processor-indexed: it survives block-id translation
+  // verbatim (applied fault events are never re-applied on resume).
+  nk.procDeadUntil = ck.procDeadUntil;
+  nk.faultsApplied = ck.faultsApplied;
+  nk.faultLog = ck.faultLog;
 
   std::set<std::pair<BlockId, BlockId>> inFlightOld;
   for (const sim::TransferState& t : ck.transfers) {
@@ -408,8 +460,68 @@ Splice buildSplice(const sim::SimPlan& plan, const sim::SimCheckpoint& ck,
     }
     const ResidualBlock& rb =
         state.blocks[static_cast<std::size_t>(state.liveIndexOf[old])];
-    if (rb.pinned) {
+    if (rb.pinned || (ck.blocks[old].done > 0 && !rb.moved())) {
       bs = ck.blocks[old];  // started: inputs satisfied, prefix preserved
+      continue;
+    }
+    if (ck.blocks[old].done > 0) {
+      // A started block evacuated off its fail-stop processor: task-level
+      // preemptive restart. The executed prefix survives (the kill rolled
+      // nextStep back to done), but everything resident on the dead
+      // processor is gone — its inputs are re-sent by their completed
+      // producers below, and the checkpointed prefix itself is re-received
+      // from the checkpoint store as one more pending input.
+      bs = ck.blocks[old];
+      bs.barrierTime = 0.0;
+      std::size_t pending = 0;
+      for (const BlockId p : predsOf[n]) {
+        // Every producer of a started block completed before it started.
+        const double cost = aggCost[{p, n}];
+        const double total = cost * model.transferFactor(
+                                        (static_cast<std::uint64_t>(p) << 32) |
+                                        static_cast<std::uint64_t>(n));
+        ++nk.numTransfers;
+        nk.transferVolume += cost;
+        ++sp.resendTransfers;
+        sp.resendVolume += cost;
+        if (total > 0.0) {
+          sim::TransferState resend;
+          resend.remaining = total;
+          resend.total = total;
+          resend.bytes = cost;
+          resend.srcBlock = p;
+          resend.dstBlock = n;
+          nk.transfers.push_back(resend);
+          ++pending;
+        } else {
+          bs.barrierTime = std::max(bs.barrierTime, ck.now);
+        }
+      }
+      if (rb.restoreBytes > 0.0) {
+        // The prefix restore rides the backbone like any transfer; its
+        // source is the block itself (the checkpoint store holds its data).
+        const double total =
+            rb.restoreBytes *
+            model.transferFactor((static_cast<std::uint64_t>(n) << 32) |
+                                 static_cast<std::uint64_t>(n));
+        ++nk.numTransfers;
+        nk.transferVolume += rb.restoreBytes;
+        ++sp.resendTransfers;
+        sp.resendVolume += rb.restoreBytes;
+        if (total > 0.0) {
+          sim::TransferState restore;
+          restore.remaining = total;
+          restore.total = total;
+          restore.bytes = rb.restoreBytes;
+          restore.srcBlock = n;
+          restore.dstBlock = n;
+          nk.transfers.push_back(restore);
+          ++pending;
+        } else {
+          bs.barrierTime = std::max(bs.barrierTime, ck.now);
+        }
+      }
+      bs.pendingInputs = pending;
       continue;
     }
     bs.nextStep = bs.done = 0;

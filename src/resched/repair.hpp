@@ -35,6 +35,12 @@ struct RepairConfig {
   bool allowMoves = true;
   bool allowSwaps = true;
   bool allowMerges = true;
+  /// Naive greedy re-execution mode: evacuate lost blocks off dead
+  /// processors (largest free memory wins) and stop — no improvement
+  /// rounds. The fault-tolerant driver races this baseline against the full
+  /// search and keeps the better execution, so recovery is never worse than
+  /// greedy re-execution by construction.
+  bool evacuateOnly = false;
   int maxRounds = 16;         // local-search rounds (each applies one op)
   int mergeProbeBudget = 64;  // oracle evaluations for merge candidates
   /// Relative projected improvement required to accept the repair; below
@@ -50,11 +56,18 @@ struct RepairConfig {
 
 struct RepairResult {
   bool accepted = false;
-  double projectedBefore = 0.0;  // keep-current residual projection
+  /// Keep-current residual projection. When the residual contains lost
+  /// blocks this is the projection *after* the mandatory evacuation pass
+  /// (the keep-current assignment is unrecoverable, i.e. +infinity), so the
+  /// before/after delta measures what the improvement rounds added on top
+  /// of greedy evacuation.
+  double projectedBefore = 0.0;
   double projectedAfter = 0.0;   // projection of the repaired residual
   int moves = 0;
   int swaps = 0;
   int merges = 0;
+  int evacuationsNeeded = 0;  // lost blocks found on dead processors
+  int evacuations = 0;        // lost blocks successfully moved off them
 };
 
 /// Improves `state` in place; `state` is only mutated by applied operations,

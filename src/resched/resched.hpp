@@ -91,6 +91,20 @@ struct ReschedulePolicy {
   bool contentionAwareProjection = true;
   /// Evaluation-mode hindsight guard (see file comment).
   bool hindsightGuard = true;
+  /// Fault trigger: pause and repair when a fail-stop fault strikes
+  /// (transient crashes recover in place inside the engine and never
+  /// trigger; their lateness surfaces through the regular policies). Fault
+  /// repairs are mandatory — they bypass the drift gate, minGain and the
+  /// maxReschedules cap, because the alternative is stranded work.
+  bool faultTrigger = true;
+  /// When no surviving processor can host a lost block yet, the driver
+  /// resumes execution and retries after a backoff window (processors free
+  /// up as other blocks complete). The window starts at
+  /// `faultBackoffFraction` of the predicted makespan and doubles per
+  /// consecutive failed retry; after `faultMaxRetries` failures the run
+  /// errors out as unrecoverable.
+  int faultMaxRetries = 8;
+  double faultBackoffFraction = 0.02;
 };
 
 /// One repair attempt (a pause that got past the drift gate).
@@ -109,6 +123,8 @@ struct RepairRecord {
   int moves = 0;
   int swaps = 0;
   int merges = 0;
+  bool faultRepair = false;  // fired by a fail-stop, not a policy trigger
+  int evacuations = 0;       // lost blocks moved off dead processors
   scheduler::ScheduleResult schedule;         // spliced (accepted only)
   std::vector<char> completedTasksAtSplice;   // accepted only
   std::vector<char> startedTasksAtSplice;     // accepted only
@@ -128,6 +144,17 @@ struct RescheduleResult {
   int reschedulesAccepted = 0;
   int reschedulesRejected = 0;  // repair attempts below minGain
   std::size_t memoryOverflows = 0;  // of the repaired execution
+  // Fault-recovery bookkeeping (zero when no fault model is attached).
+  int faultsInjected = 0;   // fault events the winning execution applied
+  int evacuations = 0;      // lost blocks moved off dead processors
+  int faultRetries = 0;     // evacuation re-attempts after backoff
+  /// Makespan of the naive greedy re-execution baseline raced alongside the
+  /// recovery-aware repair when faults are active (infinity when it failed
+  /// to recover). `finalMakespan` is min(repaired, greedy): recovery is
+  /// never worse than greedy re-execution by construction.
+  double greedyMakespan = 0.0;
+  bool greedyWon = false;  // the naive baseline beat the search repair
+  std::vector<sim::FaultEvent> faultLog;  // of the winning execution
   std::vector<RepairRecord> repairs;
   /// The repaired execution's full event history; block ids refer to
   /// `finalSchedule`.
@@ -140,6 +167,11 @@ struct RescheduleOptions {
   sim::PerturbationSpec perturbation;  // noise the execution experiences
   std::uint64_t seed = 1;
   bool contention = false;  // fair-share backbone during execution
+  /// Fault model the execution runs under (null or an inactive spec = the
+  /// exact legacy fault-free path, bit-identical to before faults existed).
+  /// With active faults the driver races the recovery-aware repair against
+  /// naive greedy re-execution and keeps the better execution.
+  sim::FaultModel* faults = nullptr;
 };
 
 /// Runs `schedule` online under the policy. The execution model is the

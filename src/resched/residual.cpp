@@ -22,6 +22,18 @@ ResidualState buildResidual(const sim::SimPlan& plan,
   state.liveIndexOf.assign(numBlocks, -1);
   state.residentOnProc.assign(d.cluster->numProcessors(), 0.0);
   state.procHostsLive.assign(d.cluster->numProcessors(), 0);
+  // Fault state, when the checkpoint carries any: fail-stop processors are
+  // dead for good; a finite downtime only delays the block's release.
+  constexpr double kInfTime = std::numeric_limits<double>::infinity();
+  if (!checkpoint.procDeadUntil.empty()) {
+    state.procDead.assign(d.cluster->numProcessors(), 0);
+    for (std::size_t p = 0; p < checkpoint.procDeadUntil.size(); ++p) {
+      if (checkpoint.procDeadUntil[p] == kInfTime) state.procDead[p] = 1;
+    }
+  }
+  const auto deadProc = [&state](platform::ProcessorId p) {
+    return !state.procDead.empty() && state.procDead[p] != 0;
+  };
 
   for (BlockId b = 0; b < numBlocks; ++b) {
     const sim::detail::BlockPlan& bp = d.blocks[b];
@@ -30,7 +42,14 @@ ResidualState buildResidual(const sim::SimPlan& plan,
     ResidualBlock rb;
     rb.block = b;
     rb.origProc = rb.proc = bp.proc;
-    rb.pinned = bs.nextStep > 0;
+    rb.lost = deadProc(bp.proc);
+    // A lost started block is unpinned: preemptive task-level restart on a
+    // surviving processor, re-receiving the checkpointed prefix below.
+    rb.pinned = bs.nextStep > 0 && !rb.lost;
+    if (rb.lost && bs.done > 0) {
+      rb.doneSteps = bs.done;
+      rb.restoreBytes = bp.residentAfter[bs.done - 1];
+    }
     rb.members = bp.order;
     rb.barrier = bs.barrierTime;
     rb.memReq = oracle.blockRequirement(rb.members);
@@ -38,6 +57,10 @@ ResidualState buildResidual(const sim::SimPlan& plan,
       rb.remainingWork += g.work(bp.order[s]);
     }
     rb.release = state.now;
+    if (!rb.lost && bp.proc < checkpoint.procDeadUntil.size() &&
+        checkpoint.procDeadUntil[bp.proc] > state.now) {
+      rb.release = checkpoint.procDeadUntil[bp.proc];  // transient downtime
+    }
     state.procHostsLive[rb.proc] = 1;
     state.liveIndexOf[b] = static_cast<int>(state.blocks.size());
     state.blocks.push_back(std::move(rb));
@@ -108,6 +131,14 @@ double projectResidual(const ResidualState& state,
   const double beta = cluster.bandwidth();
   const std::size_t n = state.blocks.size();
 
+  // A live block on a fail-stop processor can never execute: the candidate
+  // is unrecoverable and must lose to any assignment that evacuates it.
+  if (!state.procDead.empty()) {
+    for (const ResidualBlock& rb : state.blocks) {
+      if (rb.alive && state.procDead[rb.proc] != 0) return kInf;
+    }
+  }
+
   // Kahn order over the live blocks; a cyclic candidate projects to +inf.
   // Pinned blocks ignore their inputs below (the data already arrived), but
   // their edges still participate here: a merge closing a cycle through a
@@ -167,6 +198,9 @@ double projectResidual(const ResidualState& state,
         for (const auto& [src, cost] : resend) {
           problem.injections.push_back({nodeOf[i], state.now, cost});
         }
+        if (rb.restoreBytes > 0.0) {  // checkpointed prefix of a lost block
+          problem.injections.push_back({nodeOf[i], state.now, rb.restoreBytes});
+        }
       } else {
         for (const ResidualInput& in : rb.completedInputs) {
           if (!in.delivered) {
@@ -198,6 +232,9 @@ double projectResidual(const ResidualState& state,
         }
         for (const auto& [src, cost] : resend) {
           start = std::max(start, state.now + cost / beta);
+        }
+        if (rb.restoreBytes > 0.0) {  // checkpointed prefix of a lost block
+          start = std::max(start, state.now + rb.restoreBytes / beta);
         }
       } else {
         start = std::max(start, rb.barrier);

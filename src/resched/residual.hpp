@@ -51,6 +51,17 @@ struct ResidualBlock {
   bool pinned = false;  // a task started: the processor cannot change
   bool merged = false;  // absorbed another freed block during repair
   bool alive = true;    // false once absorbed into another block
+  /// Stranded on a fail-stop processor. A lost block is never pinned — even
+  /// a started one re-enters the residual with its unexecuted suffix
+  /// (task-level preemptive restart): the repair must evacuate it, and the
+  /// splice re-receives its checkpointed prefix plus its inputs.
+  bool lost = false;
+  /// Executed prefix length (tasks) of a lost started block; merging such a
+  /// block is forbidden (a merge would discard the prefix's traversal).
+  std::size_t doneSteps = 0;
+  /// Bytes of the checkpointed prefix a moved lost block must re-receive
+  /// from the checkpoint store before resuming (residentAfter[done-1]).
+  double restoreBytes = 0.0;
   double remainingWork = 0.0;  // total work of not-yet-started tasks
   double release = 0.0;  // earliest next start on the processor (running
                          // task's drawn finish for busy pinned blocks)
@@ -81,6 +92,10 @@ struct ResidualState {
   /// beside them.
   std::vector<double> residentOnProc;
   std::vector<char> procHostsLive;  // processor currently holds a live block
+  /// Fail-stop processors (from the checkpoint's fault state; empty when the
+  /// run has no fault model). Any assignment leaving a live block on a dead
+  /// processor projects to +infinity.
+  std::vector<char> procDead;
   /// Observed per-processor slowdown estimates (> 0; empty or 1.0 = trust
   /// the nominal speed). The driver fills this from execution history —
   /// actual vs. nominal durations of the tasks each processor completed —

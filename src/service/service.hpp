@@ -59,6 +59,27 @@ struct ServiceConfig {
   /// solver's thread-count-reproducibility guarantee keeps the schedules
   /// bit-identical to any parallel-sweep run.
   bool singleThreadedJobs = true;
+
+  // -- Graceful degradation (deadline ladder) -------------------------------
+  /// Cost-model estimate of a full solve, per task, in the same unit as
+  /// Request::deadlineBudget. The ladder compares estimates, never wall
+  /// clocks, so its decisions (full solve / cache / HEFT / reject) are a
+  /// pure function of the request and reproduce bit-identically under any
+  /// worker-thread count.
+  double solveCostPerTask = 1.0;
+  /// Estimated cost of the HEFT fast path, per task (same unit). Must be
+  /// well below solveCostPerTask for the fast path to ever help.
+  double heftCostPerTask = 0.05;
+
+  // -- Per-worker circuit breaker -------------------------------------------
+  /// Consecutive request failures on one worker that trip its breaker;
+  /// 0 disables the breaker entirely.
+  int breakerThreshold = 3;
+  /// Jobs a tripped worker fails fast before the half-open re-admission
+  /// probe; doubles after every failed probe. Count-based, not time-based:
+  /// a breaker's whole life cycle is a deterministic function of the
+  /// worker's job subsequence, so tests can replay it exactly.
+  int breakerCooldownJobs = 2;
 };
 
 /// One scheduling request. The dag and cluster must stay alive until the
@@ -69,6 +90,13 @@ struct Request {
   const platform::Cluster* cluster = nullptr;
   Algorithm algorithm = Algorithm::kDagHetPart;
   scheduler::DagHetPartConfig config;
+  /// Deadline budget in cost-model units (ServiceConfig::solveCostPerTask x
+  /// tasks is the full-solve estimate); 0 = no deadline, always the full
+  /// solve — the exact legacy path. When the full-solve estimate exceeds
+  /// the budget the service degrades down the ladder: cached schedule
+  /// (full fidelity, free) -> HEFT fast path (memory-oblivious, flagged
+  /// `degraded`) -> rejection (`rejected`, no schedule).
+  double deadlineBudget = 0.0;
 };
 
 struct Response {
@@ -84,6 +112,10 @@ struct Response {
   /// exact per request. Empty for cache hits, coalesced requests, and when
   /// counters are disabled.
   std::vector<obs::CounterValue> counters;
+  // Deadline-ladder outcome (all false without a deadline budget).
+  bool deadlineMissed = false;  // full-solve estimate exceeded the budget
+  bool degraded = false;        // served by the HEFT fast path
+  bool rejected = false;        // even the fast-path estimate blew the budget
 };
 
 /// Rolled-up service health: queue/cache tallies plus the process-wide
@@ -96,6 +128,11 @@ struct ServiceMetrics {
   std::uint64_t coalesced = 0;
   std::uint64_t solves = 0;
   std::uint64_t infeasible = 0;  // completed solves with no valid schedule
+  std::uint64_t deadlineMisses = 0;     // requests whose full solve blew budget
+  std::uint64_t degraded = 0;           // HEFT fast-path responses
+  std::uint64_t deadlineRejected = 0;   // ladder fell through to rejection
+  std::uint64_t breakerTrips = 0;       // breaker opens (incl. failed probes)
+  std::uint64_t breakerFastFails = 0;   // jobs failed while a breaker was open
   std::size_t queueDepth = 0;
   std::size_t cacheSize = 0;
   CacheStats cache;
@@ -141,10 +178,29 @@ class SchedulerService {
         promise.get_future().share();
   };
 
+  /// Per-worker circuit breaker. Lives on the worker's own stack — no
+  /// sharing, no locking — and is count-based throughout, so its state is a
+  /// deterministic function of the failure pattern in that worker's job
+  /// subsequence (the property the breaker-drain test pins).
+  struct BreakerState {
+    int consecutiveFailures = 0;
+    int openJobsRemaining = 0;  // > 0: open, jobs fail fast
+    int cooldownJobs = 0;       // current open-window length
+    bool halfOpen = false;      // next attempted solve is the probe
+  };
+
   void workerLoop();
-  void process(Job job);
+  void process(Job job, BreakerState& breaker);
+  void noteSolveFailure(BreakerState& breaker);
+  void noteSolveSuccess(BreakerState& breaker);
   scheduler::ScheduleResult solve(const Job& job, double* solveSeconds,
                                   std::vector<obs::CounterValue>* counters);
+  /// Degradation rung 2: task-granular HEFT folded into the block model
+  /// (one block per used processor), memory-diagnosed for an honest
+  /// `feasible` flag. Orders of magnitude cheaper than a full solve.
+  scheduler::ScheduleResult heftFallback(
+      const Job& job, double* solveSeconds,
+      std::vector<obs::CounterValue>* counters);
   bool enqueue(Request&& request, std::future<Response>* out, bool blocking);
 
   ServiceConfig cfg_;
@@ -169,6 +225,11 @@ class SchedulerService {
   std::uint64_t coalesced_ = 0;
   std::uint64_t solves_ = 0;
   std::uint64_t infeasible_ = 0;
+  std::uint64_t deadlineMisses_ = 0;
+  std::uint64_t degraded_ = 0;
+  std::uint64_t deadlineRejected_ = 0;
+  std::uint64_t breakerTrips_ = 0;
+  std::uint64_t breakerFastFails_ = 0;
 
   ScheduleCache cache_;
   std::vector<std::thread> workers_;

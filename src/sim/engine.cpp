@@ -158,6 +158,9 @@ class Engine {
 
  private:
   void tryStart(quotient::BlockId b);
+  void tryStartProc(platform::ProcessorId p);
+  void applyFault(FaultEvent ev);
+  bool applyFaultEvents();
   void completeTask(platform::ProcessorId p);
   void dispatchEdgeTransfer(graph::EdgeId e);
   void dispatchBlockTransfer(quotient::BlockId from, quotient::BlockId to,
@@ -191,6 +194,13 @@ class Engine {
   double now_ = 0.0;
   std::size_t tasksDone_ = 0;
   SimResult result_;
+
+  // Fault-injection state; allocated only when opts_.faults is set, so runs
+  // without a fault model execute the exact legacy instruction stream.
+  FaultModel* faults_ = nullptr;
+  std::vector<double> deadUntil_;            // per proc; 0 = alive, inf = dead
+  std::vector<std::uint32_t> faultsApplied_; // events consumed per proc
+  std::vector<std::vector<quotient::BlockId>> procBlocks_;
 };
 
 void Engine::checkMemory(quotient::BlockId b) {
@@ -217,6 +227,7 @@ void Engine::tryStart(quotient::BlockId b) {
   const detail::BlockPlan& bp = plan_.blocks[b];
   BlockState& br = blocks_[b];
   const platform::ProcessorId p = bp.proc;
+  if (faults_ != nullptr && deadUntil_[p] > now_) return;
   if (running_[p] != graph::kInvalidVertex) return;
   if (br.nextStep >= bp.order.size()) return;
   if (opts_.comm == CommModel::kBlockSynchronous && br.pendingInputs > 0) {
@@ -241,6 +252,62 @@ void Engine::tryStart(quotient::BlockId b) {
   procFinish_[p] = now_ + duration;
   ++br.nextStep;
   checkMemory(b);
+}
+
+void Engine::tryStartProc(platform::ProcessorId p) {
+  for (const quotient::BlockId b : procBlocks_[p]) {
+    if (running_[p] != graph::kInvalidVertex) return;
+    tryStart(b);
+  }
+}
+
+void Engine::applyFault(FaultEvent ev) {
+  const platform::ProcessorId p = ev.proc;
+  if (running_[p] != graph::kInvalidVertex) {
+    const graph::VertexId v = running_[p];
+    ev.killedTask = v;
+    // The killed task restarts from scratch: roll its block back one step.
+    // Its start event will be rewritten if it ever runs again.
+    --blocks_[schedule_.blockOf[v]].nextStep;
+    running_[p] = graph::kInvalidVertex;
+    procFinish_[p] = kInf;
+    obs::add(obs::Counter::kFaultTasksKilled);
+  }
+  deadUntil_[p] = ev.recover;
+  obs::add(ev.kind == FaultKind::kFailStop
+               ? obs::Counter::kFaultFailStops
+               : obs::Counter::kFaultTransientCrashes);
+  result_.faultLog.push_back(ev);
+  if (opts_.observer != nullptr &&
+      opts_.observer->onFault(ev, now_) == ObserverAction::kPause &&
+      tasksDone_ < g_.numVertices()) {
+    result_.paused = true;
+    capture(result_.checkpoint);
+  }
+}
+
+bool Engine::applyFaultEvents() {
+  const double tol = 1e-12 * (1.0 + std::abs(now_));
+  // Recoveries strictly first (ascending processor id): a processor whose
+  // downtime ends now may immediately resume its block.
+  for (platform::ProcessorId p = 0; p < running_.size(); ++p) {
+    if (deadUntil_[p] > 0.0 && std::isfinite(deadUntil_[p]) &&
+        deadUntil_[p] - now_ <= tol) {
+      deadUntil_[p] = 0.0;
+      tryStartProc(p);
+    }
+  }
+  for (platform::ProcessorId p = 0; p < running_.size(); ++p) {
+    const std::vector<FaultEvent>& evs = faults_->events(p);
+    while (faultsApplied_[p] < evs.size() &&
+           evs[faultsApplied_[p]].time - now_ <= tol) {
+      const FaultEvent ev = evs[faultsApplied_[p]++];
+      if (deadUntil_[p] == kInf) continue;  // already failed for good
+      applyFault(ev);
+      if (result_.paused || !result_.ok) return true;
+    }
+  }
+  return false;
 }
 
 void Engine::dispatchEdgeTransfer(graph::EdgeId e) {
@@ -373,6 +440,16 @@ bool Engine::loadCheckpoint(const SimCheckpoint& ck) {
   transfers_ = ck.transfers;
   taskDone_ = ck.taskCompleted;
   readyTime_ = ck.readyTime;
+  if (faults_ != nullptr && !ck.procDeadUntil.empty()) {
+    if (ck.procDeadUntil.size() != running_.size() ||
+        ck.faultsApplied.size() != running_.size()) {
+      fail("resume checkpoint fault state does not match the cluster");
+      return false;
+    }
+    deadUntil_ = ck.procDeadUntil;
+    faultsApplied_ = ck.faultsApplied;
+    result_.faultLog = ck.faultLog;
+  }
   result_.events = ck.events;
   result_.makespan = ck.makespanSoFar;
   result_.numTransfers = ck.numTransfers;
@@ -395,6 +472,11 @@ void Engine::capture(SimCheckpoint& ck) const {
   ck.transfers = transfers_;
   ck.taskCompleted = taskDone_;
   ck.readyTime = readyTime_;
+  if (faults_ != nullptr) {
+    ck.procDeadUntil = deadUntil_;
+    ck.faultsApplied = faultsApplied_;
+    ck.faultLog = result_.faultLog;
+  }
   ck.events = result_.events;
   ck.makespanSoFar = result_.makespan;
   ck.numTransfers = result_.numTransfers;
@@ -414,6 +496,11 @@ SimResult Engine::run() {
          "model");
     return result_;
   }
+  if (opts_.faults != nullptr &&
+      opts_.comm != CommModel::kBlockSynchronous) {
+    fail("fault injection requires the block-synchronous model");
+    return result_;
+  }
   // A plan whose hints marked blocks as already executed relaxed the
   // distinct-processor rule; executing it from t=0 would quietly serialize
   // the sharing blocks instead of erroring.
@@ -426,6 +513,16 @@ SimResult Engine::run() {
   model_->beginRun(opts_.seed);
 
   const std::size_t numTasks = g_.numVertices();
+  if (opts_.faults != nullptr) {
+    faults_ = opts_.faults;
+    faults_->beginRun(opts_.seed);
+    deadUntil_.assign(cluster_.numProcessors(), 0.0);
+    faultsApplied_.assign(cluster_.numProcessors(), 0);
+    procBlocks_.assign(cluster_.numProcessors(), {});
+    for (std::uint32_t b = 0; b < plan_.blocks.size(); ++b) {
+      procBlocks_[plan_.blocks[b].proc].push_back(b);
+    }
+  }
   blocks_.assign(plan_.blocks.size(), BlockState{});
   if (opts_.comm == CommModel::kBlockSynchronous) {
     for (std::size_t b = 0; b < blocks_.size(); ++b) {
@@ -450,7 +547,11 @@ SimResult Engine::run() {
 
   // Each iteration either completes at least one task/transfer or closes an
   // ulp-sized gap to the next event; the generous cap only catches bugs.
-  const std::size_t maxIterations = 16 + 8 * (numTasks + g_.numEdges());
+  // Fault events and the task re-executions they force extend the budget.
+  const std::size_t faultEvents =
+      faults_ != nullptr ? faults_->totalEvents() : 0;
+  const std::size_t maxIterations =
+      16 + 8 * (numTasks + g_.numEdges() + 4 * faultEvents);
   std::size_t iterations = 0;
   std::vector<std::size_t> done;  // completed-transfer scratch
   while (tasksDone_ < numTasks) {
@@ -473,7 +574,27 @@ SimResult Engine::run() {
     for (const TransferState& t : transfers_) {
       dt = std::min(dt, t.remaining / rate);
     }
+    if (faults_ != nullptr) {
+      for (platform::ProcessorId p = 0; p < running_.size(); ++p) {
+        if (deadUntil_[p] > now_ && std::isfinite(deadUntil_[p])) {
+          dt = std::min(dt, deadUntil_[p] - now_);
+        }
+        const std::vector<FaultEvent>& evs = faults_->events(p);
+        if (faultsApplied_[p] < evs.size()) {
+          dt = std::min(dt, std::max(0.0, evs[faultsApplied_[p]].time - now_));
+        }
+      }
+    }
     if (!std::isfinite(dt)) {
+      if (faults_ != nullptr) {
+        for (const double d : deadUntil_) {
+          if (d == kInf) {
+            fail("processor fail-stop stranded unfinished work (no recovery "
+                 "attached)");
+            return result_;
+          }
+        }
+      }
       fail("deadlock: tasks remain but no event is pending "
            "(unsatisfiable dependency in the schedule)");
       return result_;
@@ -503,6 +624,11 @@ SimResult Engine::run() {
     // processing order stays deterministic.
     std::reverse(completed.begin(), completed.end());
     for (const TransferState& t : completed) deliver(t);
+
+    // Faults strike after deliveries and before completions at the same
+    // instant: a task finishing exactly when its processor dies is killed
+    // (the pessimistic, deterministic reading of the tie).
+    if (faults_ != nullptr && applyFaultEvents()) return result_;
 
     for (platform::ProcessorId p = 0; p < running_.size(); ++p) {
       if (running_[p] != graph::kInvalidVertex &&

@@ -56,6 +56,7 @@
 #include "platform/cluster.hpp"
 #include "quotient/quotient.hpp"
 #include "scheduler/solution.hpp"
+#include "sim/fault.hpp"
 #include "sim/perturbation.hpp"
 
 namespace dagpm::sim {
@@ -88,6 +89,14 @@ class SimObserver {
   /// Called right after task `v` completed at simulated time `now` (its
   /// block may have dispatched transfers and started its next task already).
   virtual ObserverAction onTaskFinish(graph::VertexId v, double now) = 0;
+  /// Called right after a fault was applied (the running task, if any, is
+  /// already killed and `fault.killedTask` names it). Returning kPause stops
+  /// the run exactly like a task-finish pause; the default ignores faults.
+  virtual ObserverAction onFault(const FaultEvent& fault, double now) {
+    (void)fault;
+    (void)now;
+    return ObserverAction::kContinue;
+  }
 };
 
 /// Mutable per-block execution state, exposed for checkpoint/resume.
@@ -145,6 +154,12 @@ struct SimCheckpoint {
   double transferVolume = 0.0;
   std::size_t memoryOverflows = 0;
   double maxMemoryExcess = 0.0;
+  // Fault-injection state, populated only when the run had a fault model.
+  // Processor-indexed, so it survives the rescheduler's block-id
+  // translation untouched.
+  std::vector<double> procDeadUntil;         // per processor; +inf = fail-stop
+  std::vector<std::uint32_t> faultsApplied;  // events consumed per processor
+  std::vector<FaultEvent> faultLog;          // faults recorded so far
 };
 
 struct SimOptions {
@@ -165,6 +180,10 @@ struct SimOptions {
   /// the obs schedule-timeline exporter). A resumed run logs only the
   /// transfers delivered after the checkpoint.
   bool recordTransfers = false;
+  /// Non-null: inject processor faults (block-synchronous runs only). The
+  /// engine calls beginRun(seed) itself; a model that draws no events is a
+  /// bit-exact no-op relative to leaving this null.
+  FaultModel* faults = nullptr;
 };
 
 struct SimResult {
@@ -185,6 +204,9 @@ struct SimResult {
   double maxMemoryExcess = 0.0;  // worst usage - memory over all episodes
   /// Completed transfers, populated only when SimOptions::recordTransfers.
   std::vector<TransferRecord> transferLog;
+  /// Faults applied during the run (SimOptions::faults), in application
+  /// order; killedTask names the task each fault interrupted, if any.
+  std::vector<FaultEvent> faultLog;
 };
 
 namespace detail {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <limits>
 #include <numeric>
 
 #include <cmath>
@@ -15,6 +16,8 @@
 
 #include "anchor/annealing.hpp"
 #include "anchor/bnb.hpp"
+#include "comm/cost_model.hpp"
+#include "experiments/faults.hpp"
 #include "graph/generators.hpp"
 #include "graph/topology.hpp"
 #include "memory/oracle.hpp"
@@ -317,6 +320,138 @@ TEST_P(SpliceFuzz, ForcedSplicesStayConsistentWithTheStaticModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpliceFuzz,
+                         testing::ValuesIn(fuzzSeeds(16)));
+
+/// Fault-injection fuzz: fuzzed fault schedules (rates, downtimes and event
+/// instants all derived from the seed) driven through the recovery-aware
+/// rescheduler on a spare-augmented tight cluster. Whenever recovery
+/// succeeds, the final schedule must be valid: acyclic quotient, every
+/// block's memory requirement within its processor, and no task executing
+/// on a processor past its fail-stop instant.
+class FaultFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultFuzz, RecoveryYieldsValidSchedulesOrFailsHonestly) {
+  const std::uint64_t seed = GetParam();
+  const SpliceCase sc = makeSpliceCase(seed);
+  const memory::MemDagOracle oracle(sc.dag);
+  const platform::Cluster augmented =
+      experiments::addSpareProcessors(sc.cluster, 2);
+  support::Rng rates(sim::mixSeed(seed, 0xfa17));
+  int recovered = 0;
+  for (const scheduler::ScheduleResult* schedule : {&sc.part, &sc.mem}) {
+    if (!schedule->feasible) continue;
+    sim::FaultSpec spec;
+    spec.failStopProbability = 0.2 + 0.5 * rates.uniformReal();
+    spec.crashProbability = 0.5 * rates.uniformReal();
+    spec.horizon = std::max(schedule->makespan * 0.8, 1e-9);
+    spec.downtime = schedule->makespan * 0.05;
+    spec.maxCrashesPerProcessor = 2;
+    sim::FaultModel faults(spec, augmented.numProcessors());
+    resched::RescheduleOptions options;
+    options.seed = seed * 977 + 5;
+    options.faults = &faults;
+    const resched::RescheduleResult run =
+        resched::runOnline(sc.dag, augmented, *schedule, oracle, options);
+    if (!run.ok) continue;  // unrecoverable draw: an honest error, not a bug
+    ++recovered;
+    const scheduler::ScheduleResult& fin = run.finalSchedule;
+    ASSERT_EQ(fin.blockOf.size(), sc.dag.numVertices());
+    // Acyclic quotient (modelMakespan is nullopt on a cyclic one).
+    EXPECT_TRUE(scheduler::modelMakespan(sc.dag, augmented, fin,
+                                         comm::uncontendedCommModel())
+                    .has_value())
+        << "seed " << seed;
+    // Memory feasibility of every block on its final processor.
+    std::vector<std::vector<graph::VertexId>> members(fin.numBlocks());
+    for (VertexId v = 0; v < sc.dag.numVertices(); ++v) {
+      members[fin.blockOf[v]].push_back(v);
+    }
+    for (BlockId b = 0; b < fin.numBlocks(); ++b) {
+      if (members[b].empty()) continue;
+      EXPECT_LE(oracle.blockRequirement(members[b]),
+                augmented.memory(fin.procOfBlock[b]) * (1.0 + 1e-9))
+          << "seed " << seed << " block " << b;
+    }
+    // No task event on a processor at or past its fail-stop instant, and
+    // every killed task re-executed to completion somewhere.
+    const double tol = 1e-9 * std::max(1.0, run.finalMakespan);
+    for (const sim::FaultEvent& fault : run.faultLog) {
+      if (fault.kind != sim::FaultKind::kFailStop) continue;
+      for (VertexId v = 0; v < sc.dag.numVertices(); ++v) {
+        const sim::TaskEvent& ev = run.execution.events[v];
+        EXPECT_FALSE(ev.proc == fault.proc && ev.finish > fault.time + tol)
+            << "seed " << seed << " task " << v << " survived on processor "
+            << fault.proc << " dead since t=" << fault.time;
+      }
+      if (fault.killedTask != graph::kInvalidVertex) {
+        EXPECT_NE(run.execution.events[fault.killedTask].proc, fault.proc)
+            << "seed " << seed;
+      }
+    }
+    // The driver's never-worse-than-greedy guarantee.
+    if (run.greedyMakespan !=
+        std::numeric_limits<double>::infinity()) {
+      EXPECT_LE(run.finalMakespan,
+                run.greedyMakespan * (1.0 + 1e-12))
+          << "seed " << seed;
+    }
+  }
+  if (recovered == 0) GTEST_SKIP() << "no feasible schedule recovered";
+}
+
+TEST_P(FaultFuzz, ZeroRateFaultModelIsBitExactNoop) {
+  const std::uint64_t seed = GetParam();
+  const SpliceCase sc = makeSpliceCase(seed);
+  const memory::MemDagOracle oracle(sc.dag);
+  int checked = 0;
+  for (const scheduler::ScheduleResult* schedule : {&sc.part, &sc.mem}) {
+    if (!schedule->feasible) continue;
+    ++checked;
+    // Online driver under straggler noise: an attached-but-inactive fault
+    // model must replay the exact legacy path.
+    resched::RescheduleOptions base;
+    base.seed = seed * 31 + 7;
+    base.perturbation.kind = sim::PerturbationKind::kStraggler;
+    base.perturbation.stragglerProbability = 0.25;
+    base.perturbation.stragglerFactor = 3.0;
+    const resched::RescheduleResult plain =
+        resched::runOnline(sc.dag, sc.cluster, *schedule, oracle, base);
+    sim::FaultModel inactive(sim::FaultSpec{}, sc.cluster.numProcessors());
+    resched::RescheduleOptions withModel = base;
+    withModel.faults = &inactive;
+    const resched::RescheduleResult faulted =
+        resched::runOnline(sc.dag, sc.cluster, *schedule, oracle, withModel);
+    ASSERT_EQ(plain.ok, faulted.ok);
+    if (!plain.ok) continue;
+    EXPECT_EQ(plain.finalMakespan, faulted.finalMakespan);
+    EXPECT_EQ(plain.unrepairedMakespan, faulted.unrepairedMakespan);
+    EXPECT_EQ(plain.repairs.size(), faulted.repairs.size());
+    EXPECT_TRUE(faulted.faultLog.empty());
+    EXPECT_EQ(faulted.faultsInjected, 0);
+    // Engine level: a zero-probability model that is *active* in shape but
+    // draws no events must also be a bit-exact no-op.
+    sim::SimOptions so;
+    so.seed = base.seed;
+    const sim::SimResult bare =
+        sim::simulateSchedule(sc.dag, sc.cluster, *schedule, oracle, so);
+    sim::FaultModel zero(sim::FaultSpec{}, sc.cluster.numProcessors());
+    sim::SimOptions withFaults = so;
+    withFaults.faults = &zero;
+    const sim::SimResult noop = sim::simulateSchedule(
+        sc.dag, sc.cluster, *schedule, oracle, withFaults);
+    ASSERT_EQ(bare.ok, noop.ok) << noop.error;
+    EXPECT_EQ(bare.makespan, noop.makespan);
+    ASSERT_EQ(bare.events.size(), noop.events.size());
+    for (std::size_t v = 0; v < bare.events.size(); ++v) {
+      EXPECT_EQ(bare.events[v].start, noop.events[v].start);
+      EXPECT_EQ(bare.events[v].finish, noop.events[v].finish);
+      EXPECT_EQ(bare.events[v].proc, noop.events[v].proc);
+    }
+  }
+  if (checked == 0) GTEST_SKIP() << "no feasible schedule";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz,
                          testing::ValuesIn(fuzzSeeds(16)));
 
 /// Differential fuzz for the incremental makespan evaluator: random

@@ -14,6 +14,7 @@
 
 #include <cstdlib>
 #include <future>
+#include <stdexcept>
 #include <vector>
 
 #include "comm/cost_model.hpp"
@@ -395,6 +396,189 @@ TEST(ServiceEngine, PerRequestCounterAttribution) {
     }
   }
   obs::resetForTest();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: exception isolation, the deadline ladder, and the
+// per-worker circuit breaker (ISSUE 10)
+// ---------------------------------------------------------------------------
+
+TEST(ServiceDegradation, PoolSurvivesPoisonedRequest) {
+  // A poisoned request (null workflow pointer) must fail its own future with
+  // the solver's exception — and nothing else. The worker that processed it
+  // stays alive and serves the healthy request behind it.
+  const platform::Cluster cluster = testCluster();
+  const graph::Dag g =
+      workflows::generate(workflows::Family::kSeismology, genConfig(60, 31));
+
+  ServiceConfig sc;
+  sc.numThreads = 1;  // the poisoned and healthy jobs share one worker
+  SchedulerService svc(sc);
+  service::Request poison;  // dag == cluster == nullptr
+  std::future<service::Response> bad = svc.submit(std::move(poison));
+  EXPECT_THROW(bad.get(), std::invalid_argument);
+
+  service::Request req;
+  req.dag = &g;
+  req.cluster = &cluster;
+  const service::Response ok = svc.submit(std::move(req)).get();
+  EXPECT_TRUE(ok.schedule.feasible);
+  svc.drain();
+  const service::ServiceMetrics m = svc.metrics();
+  EXPECT_EQ(m.completed, 2u);  // the failed job still retired cleanly
+  EXPECT_EQ(m.solves, 1u);
+}
+
+TEST(ServiceDegradation, LadderIsDeterministicAcrossWorkerCounts) {
+  // The deadline ladder decides on cost-model estimates, never wall clocks,
+  // so an identical request sequence must produce identical per-response
+  // rung flags, identical schedules, and identical ladder metrics whether
+  // one worker or four process it. The cache rung is pre-warmed and drained
+  // before any deadline request so its decision is pinned too.
+  const platform::Cluster cluster = testCluster();
+  const graph::Dag warm =
+      workflows::generate(workflows::Family::kMontage, genConfig(60, 41));
+  const graph::Dag fresh =
+      workflows::generate(workflows::Family::kSeismology, genConfig(60, 42));
+  const graph::Dag big =
+      workflows::generate(workflows::Family::kBlast, genConfig(60, 43));
+
+  struct Run {
+    std::vector<service::Response> responses;
+    service::ServiceMetrics metrics;
+  };
+  constexpr int kRepeats = 3;
+  const auto run = [&](int threads) {
+    ServiceConfig sc;
+    sc.numThreads = threads;
+    SchedulerService svc(sc);
+    Run out;
+    service::Request w;
+    w.dag = &warm;
+    w.cluster = &cluster;
+    out.responses.push_back(svc.submit(w).get());  // cache the full solve
+    svc.drain();
+    std::vector<std::future<service::Response>> futures;
+    for (int r = 0; r < kRepeats; ++r) {
+      // 60 tasks: full-solve estimate 60, HEFT estimate 3 (default costs).
+      service::Request cached = w;  // rung 1: budget misses, cache serves
+      cached.deadlineBudget = 10.0;
+      futures.push_back(svc.submit(std::move(cached)));
+      service::Request degrade;  // rung 2: uncached, HEFT estimate fits
+      degrade.dag = &fresh;
+      degrade.cluster = &cluster;
+      degrade.deadlineBudget = 10.0;
+      futures.push_back(svc.submit(std::move(degrade)));
+      service::Request reject;  // rung 3: even HEFT blows the budget
+      reject.dag = &big;
+      reject.cluster = &cluster;
+      reject.deadlineBudget = 1.0;
+      futures.push_back(svc.submit(std::move(reject)));
+    }
+    for (std::future<service::Response>& f : futures) {
+      out.responses.push_back(f.get());
+    }
+    svc.drain();
+    out.metrics = svc.metrics();
+    return out;
+  };
+
+  const Run solo = run(1);
+  const Run pool = run(4);
+  ASSERT_EQ(solo.responses.size(), pool.responses.size());
+  for (std::size_t i = 0; i < solo.responses.size(); ++i) {
+    EXPECT_EQ(solo.responses[i].deadlineMissed,
+              pool.responses[i].deadlineMissed);
+    EXPECT_EQ(solo.responses[i].cacheHit, pool.responses[i].cacheHit);
+    EXPECT_EQ(solo.responses[i].degraded, pool.responses[i].degraded);
+    EXPECT_EQ(solo.responses[i].rejected, pool.responses[i].rejected);
+    expectIdentical(solo.responses[i].schedule, pool.responses[i].schedule);
+  }
+  // The rung each position must land on (same for both worker counts).
+  for (int r = 0; r < kRepeats; ++r) {
+    const service::Response& cached = solo.responses[1 + 3 * r];
+    EXPECT_TRUE(cached.deadlineMissed);
+    EXPECT_TRUE(cached.cacheHit);  // full fidelity despite the missed budget
+    EXPECT_FALSE(cached.degraded);
+    expectIdentical(cached.schedule, solo.responses[0].schedule);
+    const service::Response& degraded = solo.responses[2 + 3 * r];
+    EXPECT_TRUE(degraded.deadlineMissed);
+    EXPECT_TRUE(degraded.degraded);
+    EXPECT_FALSE(degraded.cacheHit);
+    EXPECT_FALSE(degraded.rejected);
+    const service::Response& rejected = solo.responses[3 + 3 * r];
+    EXPECT_TRUE(rejected.deadlineMissed);
+    EXPECT_TRUE(rejected.rejected);
+    EXPECT_FALSE(rejected.schedule.feasible);  // well-formed, not an exception
+  }
+  EXPECT_EQ(solo.metrics.deadlineMisses, 3u * kRepeats);
+  EXPECT_EQ(solo.metrics.degraded, static_cast<std::uint64_t>(kRepeats));
+  EXPECT_EQ(solo.metrics.deadlineRejected,
+            static_cast<std::uint64_t>(kRepeats));
+  EXPECT_EQ(solo.metrics.solves, 1u);  // degraded responses never re-solve
+  EXPECT_EQ(pool.metrics.deadlineMisses, solo.metrics.deadlineMisses);
+  EXPECT_EQ(pool.metrics.degraded, solo.metrics.degraded);
+  EXPECT_EQ(pool.metrics.deadlineRejected, solo.metrics.deadlineRejected);
+  EXPECT_EQ(pool.metrics.solves, solo.metrics.solves);
+  EXPECT_EQ(pool.metrics.infeasible, solo.metrics.infeasible);
+  EXPECT_EQ(pool.metrics.breakerTrips, 0u);
+}
+
+TEST(ServiceDegradation, TrippedBreakerDrainsDeterministically) {
+  // One worker, so the breaker's whole life cycle is a function of the job
+  // sequence alone: threshold consecutive failures trip it, exactly
+  // cooldownJobs jobs fail fast, the next job is the half-open probe. A
+  // failed probe reopens with a doubled window; a healthy probe closes it.
+  const platform::Cluster cluster = testCluster();
+  const graph::Dag g =
+      workflows::generate(workflows::Family::kBwa, genConfig(60, 51));
+
+  ServiceConfig sc;
+  sc.numThreads = 1;
+  sc.breakerThreshold = 2;
+  sc.breakerCooldownJobs = 2;
+  SchedulerService svc(sc);
+  const auto poison = [&svc] {
+    return svc.submit(service::Request{});  // fails inside solve()
+  };
+  const auto healthy = [&](std::uint64_t seed) {
+    service::Request r;
+    r.dag = &g;
+    r.cluster = &cluster;
+    r.config.seed = seed;  // distinct fingerprints: no cache interference
+    return svc.submit(std::move(r));
+  };
+
+  EXPECT_THROW(poison().get(), std::invalid_argument);
+  EXPECT_THROW(poison().get(), std::invalid_argument);  // second failure trips
+  // Exactly cooldownJobs = 2 jobs fail fast, healthy or not.
+  EXPECT_THROW(healthy(1).get(), std::runtime_error);
+  EXPECT_THROW(healthy(2).get(), std::runtime_error);
+  // Window drained: this job is the half-open probe; healthy, so it closes
+  // the breaker and normal service resumes.
+  EXPECT_TRUE(healthy(3).get().schedule.feasible);
+  EXPECT_TRUE(healthy(4).get().schedule.feasible);
+  svc.drain();
+  service::ServiceMetrics m = svc.metrics();
+  EXPECT_EQ(m.breakerTrips, 1u);
+  EXPECT_EQ(m.breakerFastFails, 2u);
+  EXPECT_EQ(m.completed, 6u);
+
+  // Trip again; this time the probe itself fails, reopening the breaker
+  // with a doubled window (4 fast-fails) before a healthy probe closes it.
+  EXPECT_THROW(poison().get(), std::invalid_argument);
+  EXPECT_THROW(poison().get(), std::invalid_argument);  // trip #2
+  EXPECT_THROW(healthy(5).get(), std::runtime_error);
+  EXPECT_THROW(healthy(6).get(), std::runtime_error);
+  EXPECT_THROW(poison().get(), std::invalid_argument);  // failed probe: trip #3
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_THROW(healthy(10 + i).get(), std::runtime_error);
+  }
+  EXPECT_TRUE(healthy(20).get().schedule.feasible);  // healthy probe closes
+  svc.drain();
+  m = svc.metrics();
+  EXPECT_EQ(m.breakerTrips, 3u);
+  EXPECT_EQ(m.breakerFastFails, 2u + 2u + 4u);
 }
 
 // ---------------------------------------------------------------------------
